@@ -1,0 +1,5 @@
+"""Legacy setup shim (the environment's setuptools predates PEP 660)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,24 @@
+"""Metrics, airtime accounting, and table rendering."""
+
+from .airtime import AirtimeReport, SourceAirtime
+from .metrics import (
+    aggregate_throughput_bps,
+    bianchi_saturation_throughput,
+    bianchi_tau,
+    delay_percentiles,
+    jain_fairness,
+)
+from .tables import format_value, render_series, render_table
+
+__all__ = [
+    "AirtimeReport",
+    "SourceAirtime",
+    "aggregate_throughput_bps",
+    "bianchi_saturation_throughput",
+    "bianchi_tau",
+    "delay_percentiles",
+    "format_value",
+    "jain_fairness",
+    "render_series",
+    "render_table",
+]

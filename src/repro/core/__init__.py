@@ -1,0 +1,66 @@
+"""Core discrete-event simulation kernel and shared utilities."""
+
+from .energy import EnergyMeter, PowerProfile
+from .engine import EventHandle, PeriodicTask, Simulator
+from .errors import (
+    AuthenticationError,
+    ConfigurationError,
+    FrameError,
+    IntegrityError,
+    LinkError,
+    ProtocolError,
+    ReplayError,
+    ReproError,
+    SchedulingError,
+    SecurityError,
+    SimulationError,
+)
+from .rng import RngRegistry
+from .stats import Counter, SampleStat, TimeWeightedStat, jain_fairness
+from .topology import (
+    ORIGIN,
+    Position,
+    circle_layout,
+    grid_layout,
+    hexagonal_cell_centers,
+    line_layout,
+    nearest,
+    random_disc_layout,
+)
+from .trace import TraceLog, TraceRecord
+from . import units
+
+__all__ = [
+    "AuthenticationError",
+    "ConfigurationError",
+    "Counter",
+    "EnergyMeter",
+    "EventHandle",
+    "FrameError",
+    "IntegrityError",
+    "LinkError",
+    "ORIGIN",
+    "PeriodicTask",
+    "Position",
+    "PowerProfile",
+    "ProtocolError",
+    "ReplayError",
+    "ReproError",
+    "RngRegistry",
+    "SampleStat",
+    "SchedulingError",
+    "SecurityError",
+    "SimulationError",
+    "Simulator",
+    "TimeWeightedStat",
+    "TraceLog",
+    "TraceRecord",
+    "circle_layout",
+    "grid_layout",
+    "hexagonal_cell_centers",
+    "jain_fairness",
+    "line_layout",
+    "nearest",
+    "random_disc_layout",
+    "units",
+]

@@ -1,0 +1,231 @@
+"""The discrete-event simulation kernel.
+
+The kernel is a deterministic event-heap executor:
+
+* :class:`Simulator` owns the clock, the pending-event heap, the RNG
+  registry (see :mod:`repro.core.rng`) and the trace log.
+* :class:`EventHandle` is returned by :meth:`Simulator.schedule` and
+  supports O(1) cancellation (lazy deletion from the heap).
+* Ties in time are broken by a monotonically increasing sequence number,
+  so two events scheduled for the same instant always fire in the order
+  they were scheduled — this is what makes runs bit-reproducible.
+
+Protocol code in this library is written in *callback style*: components
+schedule plain callables.  That keeps the kernel tiny, easy to reason
+about, and fast enough to run thousands of stations on a laptop.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Any, Callable, List, Optional, Tuple
+
+from .errors import SchedulingError, SimulationError
+from .rng import RngRegistry
+from .trace import TraceLog
+
+
+class EventHandle:
+    """A scheduled event that can be cancelled before it fires."""
+
+    __slots__ = ("time", "seq", "callback", "args", "_cancelled")
+
+    def __init__(self, time: float, seq: int,
+                 callback: Callable[..., None], args: Tuple[Any, ...]):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing; safe to call multiple times."""
+        self._cancelled = True
+        # Drop references so cancelled events don't pin objects alive
+        # while they sit in the heap awaiting lazy deletion.
+        self.callback = _noop
+        self.args = ()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def pending(self) -> bool:
+        return not self._cancelled
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._cancelled else "pending"
+        return f"<EventHandle t={self.time:.9f} seq={self.seq} {state}>"
+
+
+def _noop(*_args: Any) -> None:
+    return None
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for all named RNG streams.
+    trace:
+        Optional :class:`~repro.core.trace.TraceLog`; a fresh one is
+        created when omitted so tracing is always available.
+    """
+
+    def __init__(self, seed: int = 0, trace: Optional[TraceLog] = None):
+        self._now = 0.0
+        self._heap: List[EventHandle] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._stopped = False
+        self._events_executed = 0
+        self.rng = RngRegistry(seed)
+        self.trace = trace if trace is not None else TraceLog()
+
+    # --- clock ---------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of events fired so far (diagnostics / progress)."""
+        return self._events_executed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of not-yet-cancelled events waiting in the heap."""
+        return sum(1 for event in self._heap if event.pending)
+
+    # --- scheduling ------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable[..., None],
+                 *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SchedulingError(
+                f"cannot schedule {delay!r} s in the past (now={self._now!r})")
+        if math.isnan(delay) or math.isinf(delay):
+            raise SchedulingError(f"invalid delay: {delay!r}")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., None],
+                    *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute time ``time``."""
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule at t={time!r} before now={self._now!r}")
+        if math.isnan(time) or math.isinf(time):
+            raise SchedulingError(f"invalid time: {time!r}")
+        event = EventHandle(time, next(self._seq), callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def call_now(self, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule a callback for the current instant (after current event)."""
+        return self.schedule(0.0, callback, *args)
+
+    # --- execution --------------------------------------------------------
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        """Run events until the heap drains, ``until`` is reached, or
+        ``max_events`` have fired.  Returns the simulation time when the
+        run stopped.
+
+        When the run stops because of ``until``, the clock is advanced to
+        exactly ``until`` so that back-to-back ``run`` calls observe a
+        continuous timeline.
+        """
+        if self._running:
+            raise SimulationError("run() called re-entrantly")
+        self._running = True
+        self._stopped = False
+        budget = max_events if max_events is not None else math.inf
+        try:
+            while self._heap and not self._stopped and budget > 0:
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._heap)
+                self._now = event.time
+                self._events_executed += 1
+                budget -= 1
+                event.callback(*event.args)
+            if until is not None and not self._stopped and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def stop(self) -> None:
+        """Stop the current :meth:`run` after the in-flight event returns."""
+        self._stopped = True
+
+    def clear(self) -> None:
+        """Cancel every pending event (used between experiment phases)."""
+        for event in self._heap:
+            event.cancel()
+        self._heap.clear()
+
+
+class PeriodicTask:
+    """Re-arms a callback at a fixed period until cancelled.
+
+    Used for beacons, polling loops, and traffic generators.  The task
+    fires first after ``offset`` seconds (default: one full period).
+    """
+
+    def __init__(self, sim: Simulator, period: float,
+                 callback: Callable[[], None],
+                 offset: Optional[float] = None):
+        if period <= 0:
+            raise SchedulingError(f"period must be positive, got {period}")
+        self._sim = sim
+        self._period = period
+        self._callback = callback
+        self._active = True
+        self._fired = 0
+        first = period if offset is None else offset
+        self._handle = sim.schedule(first, self._fire)
+
+    @property
+    def fired(self) -> int:
+        """How many times the task has fired."""
+        return self._fired
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    @property
+    def period(self) -> float:
+        return self._period
+
+    def _fire(self) -> None:
+        if not self._active:
+            return
+        self._fired += 1
+        self._callback()
+        if self._active:
+            self._handle = self._sim.schedule(self._period, self._fire)
+
+    def cancel(self) -> None:
+        """Stop the task; the callback will not fire again."""
+        self._active = False
+        self._handle.cancel()

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the repro wireless simulation library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch library failures with a single ``except`` clause
+while still distinguishing configuration mistakes from runtime protocol
+errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or wired with invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """The simulation kernel detected an inconsistent state."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled in the past or on a stopped simulator."""
+
+
+class ProtocolError(ReproError):
+    """A protocol entity received input it cannot process."""
+
+
+class FrameError(ProtocolError):
+    """A MAC frame could not be serialized or parsed."""
+
+
+class SecurityError(ReproError):
+    """Base class for security subsystem failures."""
+
+
+class IntegrityError(SecurityError):
+    """An integrity check (ICV, MIC, FCS over plaintext) failed."""
+
+
+class ReplayError(SecurityError):
+    """A frame arrived with a stale sequence counter (replay window)."""
+
+
+class AuthenticationError(SecurityError):
+    """Authentication or key-handshake failure."""
+
+
+class LinkError(ReproError):
+    """A point-to-point link (IrDA, satellite) cannot be established."""

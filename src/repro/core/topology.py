@@ -1,0 +1,137 @@
+"""Positions and node placement helpers.
+
+Wireless behaviour is dominated by geometry, so positions are first-class:
+:class:`Position` is an immutable 3-D point, and the placement helpers
+produce the layouts used throughout the examples and benchmarks (grids,
+uniform discs, lines, hexagonal cell sites).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class Position:
+    """An immutable point in meters."""
+
+    x: float = 0.0
+    y: float = 0.0
+    z: float = 0.0
+
+    def distance_to(self, other: "Position") -> float:
+        """Euclidean distance in meters."""
+        dx = self.x - other.x
+        dy = self.y - other.y
+        dz = self.z - other.z
+        return math.sqrt(dx * dx + dy * dy + dz * dz)
+
+    def bearing_to(self, other: "Position") -> float:
+        """Horizontal bearing (radians, from +x axis) to ``other``."""
+        return math.atan2(other.y - self.y, other.x - self.x)
+
+    def translated(self, dx: float = 0.0, dy: float = 0.0, dz: float = 0.0) -> "Position":
+        return Position(self.x + dx, self.y + dy, self.z + dz)
+
+    def toward(self, other: "Position", distance: float) -> "Position":
+        """The point ``distance`` meters from here along the line to ``other``."""
+        total = self.distance_to(other)
+        if total == 0.0:
+            return self
+        fraction = distance / total
+        return Position(self.x + (other.x - self.x) * fraction,
+                        self.y + (other.y - self.y) * fraction,
+                        self.z + (other.z - self.z) * fraction)
+
+
+ORIGIN = Position(0.0, 0.0, 0.0)
+
+
+def line_layout(count: int, spacing: float, start: Position = ORIGIN) -> List[Position]:
+    """``count`` positions along the +x axis, ``spacing`` meters apart."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    return [start.translated(dx=index * spacing) for index in range(count)]
+
+
+def grid_layout(rows: int, cols: int, spacing: float,
+                start: Position = ORIGIN) -> List[Position]:
+    """A rows x cols grid in the xy plane."""
+    if rows < 0 or cols < 0:
+        raise ValueError("rows and cols must be non-negative")
+    return [start.translated(dx=col * spacing, dy=row * spacing)
+            for row in range(rows) for col in range(cols)]
+
+
+def circle_layout(count: int, radius: float, center: Position = ORIGIN) -> List[Position]:
+    """``count`` positions evenly spaced on a circle around ``center``."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    positions = []
+    for index in range(count):
+        angle = 2.0 * math.pi * index / max(count, 1)
+        positions.append(center.translated(dx=radius * math.cos(angle),
+                                           dy=radius * math.sin(angle)))
+    return positions
+
+
+def random_disc_layout(count: int, radius: float, rng: random.Random,
+                       center: Position = ORIGIN) -> List[Position]:
+    """``count`` positions uniformly distributed over a disc.
+
+    Uniform over *area* (sqrt radial transform), not uniform in radius.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    positions = []
+    for _ in range(count):
+        r = radius * math.sqrt(rng.random())
+        theta = 2.0 * math.pi * rng.random()
+        positions.append(center.translated(dx=r * math.cos(theta),
+                                           dy=r * math.sin(theta)))
+    return positions
+
+
+def hexagonal_cell_centers(rings: int, cell_radius: float,
+                           center: Position = ORIGIN) -> List[Position]:
+    """Centers of a hexagonal cell cluster: the center cell plus ``rings``
+    concentric rings (ring k contributes 6k cells).
+
+    Used by the cellular substrate for frequency-reuse layouts.
+    """
+    if rings < 0:
+        raise ValueError(f"rings must be non-negative, got {rings}")
+    centers = [center]
+    # Axial hex coordinates; distance between adjacent centers is
+    # sqrt(3) * cell_radius for flat-top hexagons.
+    pitch = math.sqrt(3.0) * cell_radius
+    directions = [(1, 0), (0, 1), (-1, 1), (-1, 0), (0, -1), (1, -1)]
+    for ring in range(1, rings + 1):
+        # Classic ring walk: start one ring out along direction 4, then
+        # take `ring` steps in each of the six directions.
+        q, r = 0, -ring
+        for direction in directions:
+            for _ in range(ring):
+                x = pitch * (q + r / 2.0)
+                y = pitch * (math.sqrt(3.0) / 2.0) * r
+                centers.append(center.translated(dx=x, dy=y))
+                q += direction[0]
+                r += direction[1]
+    return centers
+
+
+def nearest(position: Position, candidates: List[Position]) -> Tuple[int, float]:
+    """Index of and distance to the nearest candidate position."""
+    if not candidates:
+        raise ValueError("candidates must be non-empty")
+    best_index = 0
+    best_distance = position.distance_to(candidates[0])
+    for index, candidate in enumerate(candidates[1:], start=1):
+        distance = position.distance_to(candidate)
+        if distance < best_distance:
+            best_index = index
+            best_distance = distance
+    return best_index, best_distance

@@ -1,0 +1,102 @@
+"""Structured event tracing.
+
+Every protocol entity can record what it did and when.  Traces are the
+ground truth for debugging MAC interleavings ("who held the medium at
+t=1.2034?") and they back several tests that assert on protocol event
+*ordering* rather than only on aggregate counters.
+
+A :class:`TraceLog` is a bounded, filterable, in-memory list of
+:class:`TraceRecord` entries.  It is intentionally simple — no file I/O
+in the hot path; callers can dump to text after the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced protocol event."""
+
+    time: float
+    source: str
+    event: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def format(self) -> str:
+        """Render as a single human-readable line."""
+        parts = [f"{self.time * 1e6:12.3f}us", self.source, self.event]
+        if self.detail:
+            kv = " ".join(f"{key}={value}" for key, value in sorted(self.detail.items()))
+            parts.append(kv)
+        return "  ".join(parts)
+
+
+class TraceLog:
+    """Bounded in-memory trace collector.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum records retained; older records are discarded FIFO.
+        ``None`` means unbounded (use in tests, not long runs).
+    enabled:
+        Tracing can be disabled wholesale for performance-sensitive
+        benchmark runs; :meth:`record` then becomes a cheap no-op.
+    """
+
+    def __init__(self, capacity: Optional[int] = 100_000, enabled: bool = True):
+        self._records: List[TraceRecord] = []
+        self._capacity = capacity
+        self._dropped = 0
+        self.enabled = enabled
+
+    def record(self, time: float, source: str, event: str, **detail: Any) -> None:
+        """Append a trace record (no-op when tracing is disabled)."""
+        if not self.enabled:
+            return
+        self._records.append(TraceRecord(time, source, event, detail))
+        if self._capacity is not None and len(self._records) > self._capacity:
+            overflow = len(self._records) - self._capacity
+            del self._records[:overflow]
+            self._dropped += overflow
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    @property
+    def dropped(self) -> int:
+        """Records discarded due to the capacity bound."""
+        return self._dropped
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    def select(self, source: Optional[str] = None, event: Optional[str] = None,
+               predicate: Optional[Callable[[TraceRecord], bool]] = None
+               ) -> List[TraceRecord]:
+        """Filter records by source and/or event name and/or a predicate."""
+        result = []
+        for record in self._records:
+            if source is not None and record.source != source:
+                continue
+            if event is not None and record.event != event:
+                continue
+            if predicate is not None and not predicate(record):
+                continue
+            result.append(record)
+        return result
+
+    def events(self, event: str) -> List[TraceRecord]:
+        """Shorthand for :meth:`select` on event name only."""
+        return self.select(event=event)
+
+    def format(self, limit: Optional[int] = None) -> str:
+        """Render the (tail of the) trace as text."""
+        records = self._records if limit is None else self._records[-limit:]
+        return "\n".join(record.format() for record in records)

@@ -1,0 +1,127 @@
+"""Unit helpers: time, data rate, and radio power conversions.
+
+The simulator keeps all quantities in SI base units internally:
+
+* time in **seconds** (floats; microsecond-scale protocol timing is well
+  within double precision),
+* data rates in **bits per second**,
+* power in **watts** (with dBm helpers, since radio budgets are quoted
+  in dBm),
+* distances in **meters**.
+
+These helpers exist so that protocol code reads like the standards
+documents it implements (``MICROSECONDS``, ``mbps``, ``dbm_to_watts``)
+instead of sprinkling magic scale factors.
+"""
+
+from __future__ import annotations
+
+import math
+
+# --- time ------------------------------------------------------------------
+
+NANOSECONDS = 1e-9
+MICROSECONDS = 1e-6
+MILLISECONDS = 1e-3
+SECONDS = 1.0
+
+#: Speed of light in vacuum (m/s); used for propagation delay.
+SPEED_OF_LIGHT = 299_792_458.0
+
+
+def usec(value: float) -> float:
+    """Convert a value in microseconds to seconds."""
+    return value * MICROSECONDS
+
+
+def msec(value: float) -> float:
+    """Convert a value in milliseconds to seconds."""
+    return value * MILLISECONDS
+
+
+# --- data rates -------------------------------------------------------------
+
+def kbps(value: float) -> float:
+    """Convert kilobits per second to bits per second."""
+    return value * 1e3
+
+
+def mbps(value: float) -> float:
+    """Convert megabits per second to bits per second."""
+    return value * 1e6
+
+
+def gbps(value: float) -> float:
+    """Convert gigabits per second to bits per second."""
+    return value * 1e9
+
+
+def to_mbps(bits_per_second: float) -> float:
+    """Express a rate in megabits per second (for reporting)."""
+    return bits_per_second / 1e6
+
+
+def transmission_time(size_bits: int, rate_bps: float) -> float:
+    """Time in seconds to clock ``size_bits`` onto the air at ``rate_bps``."""
+    if rate_bps <= 0:
+        raise ValueError(f"rate must be positive, got {rate_bps}")
+    if size_bits < 0:
+        raise ValueError(f"size must be non-negative, got {size_bits}")
+    return size_bits / rate_bps
+
+
+# --- power ------------------------------------------------------------------
+
+def dbm_to_watts(dbm: float) -> float:
+    """Convert a power level in dBm to watts."""
+    return 10.0 ** (dbm / 10.0) / 1000.0
+
+
+def watts_to_dbm(watts: float) -> float:
+    """Convert a power level in watts to dBm.
+
+    Zero (or negative) power maps to ``-inf`` dBm, which propagates
+    correctly through link-budget comparisons.
+    """
+    if watts <= 0.0:
+        return -math.inf
+    return 10.0 * math.log10(watts * 1000.0)
+
+
+def db_to_linear(db: float) -> float:
+    """Convert a dB ratio to a linear ratio."""
+    return 10.0 ** (db / 10.0)
+
+
+def linear_to_db(ratio: float) -> float:
+    """Convert a linear ratio to dB; non-positive ratios map to -inf."""
+    if ratio <= 0.0:
+        return -math.inf
+    return 10.0 * math.log10(ratio)
+
+
+# --- thermal noise -----------------------------------------------------------
+
+#: Boltzmann constant (J/K).
+BOLTZMANN = 1.380649e-23
+
+#: Standard noise reference temperature (K).
+T0_KELVIN = 290.0
+
+
+def thermal_noise_watts(bandwidth_hz: float, noise_figure_db: float = 0.0) -> float:
+    """Thermal noise floor ``kTB`` scaled by a receiver noise figure.
+
+    ``bandwidth_hz`` is the receiver bandwidth; the classic 20 MHz 802.11
+    channel at a 7 dB noise figure gives roughly -94 dBm.
+    """
+    if bandwidth_hz <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth_hz}")
+    return BOLTZMANN * T0_KELVIN * bandwidth_hz * db_to_linear(noise_figure_db)
+
+
+def frequency_to_wavelength(frequency_hz: float) -> float:
+    """Wavelength in meters for a carrier frequency in Hz."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    return SPEED_OF_LIGHT / frequency_hz

@@ -1,0 +1,96 @@
+"""IEEE MAC addresses (EUI-48).
+
+:class:`MacAddress` is a small immutable value type with the textual
+``aa:bb:cc:dd:ee:ff`` form, byte serialization for frame encoding, and
+the broadcast/multicast/locally-administered predicates the MAC and
+bridging code use.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ..core.errors import FrameError
+
+
+@dataclass(frozen=True, order=True)
+class MacAddress:
+    """A 48-bit MAC address stored as an int for cheap hashing."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value < (1 << 48):
+            raise FrameError(f"MAC address out of range: {self.value:#x}")
+
+    # --- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_string(cls, text: str) -> "MacAddress":
+        parts = text.replace("-", ":").split(":")
+        if len(parts) != 6:
+            raise FrameError(f"malformed MAC address: {text!r}")
+        try:
+            octets = [int(part, 16) for part in parts]
+        except ValueError:
+            raise FrameError(f"malformed MAC address: {text!r}")
+        if any(not 0 <= octet <= 0xFF for octet in octets):
+            raise FrameError(f"malformed MAC address: {text!r}")
+        value = 0
+        for octet in octets:
+            value = (value << 8) | octet
+        return cls(value)
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "MacAddress":
+        if len(raw) != 6:
+            raise FrameError(f"MAC address needs 6 bytes, got {len(raw)}")
+        return cls(int.from_bytes(raw, "big"))
+
+    # --- encoding ------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        return self.value.to_bytes(6, "big")
+
+    def __str__(self) -> str:
+        raw = self.to_bytes()
+        return ":".join(f"{octet:02x}" for octet in raw)
+
+    def __repr__(self) -> str:
+        return f"MacAddress('{self}')"
+
+    # --- predicates ------------------------------------------------------------
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.value == (1 << 48) - 1
+
+    @property
+    def is_multicast(self) -> bool:
+        """Group bit (LSB of the first octet) set."""
+        return bool((self.value >> 40) & 0x01)
+
+    @property
+    def is_locally_administered(self) -> bool:
+        return bool((self.value >> 40) & 0x02)
+
+
+BROADCAST = MacAddress((1 << 48) - 1)
+
+_allocator = itertools.count(1)
+
+
+def allocate_address(locally_administered: bool = True) -> MacAddress:
+    """Hand out a fresh unique address for a simulated device."""
+    serial = next(_allocator)
+    if serial >= (1 << 40):
+        raise FrameError("address space exhausted")
+    base = 0x02_00_00_00_00_00 if locally_administered else 0
+    return MacAddress(base | serial)
+
+
+def reset_allocator() -> None:
+    """Restart address allocation (test isolation)."""
+    global _allocator
+    _allocator = itertools.count(1)

@@ -1,0 +1,53 @@
+"""Binary-exponential backoff for the DCF contention window.
+
+The contention window starts at ``cw_min``, doubles (as ``2(cw+1)-1``)
+on every failed transmission attempt up to ``cw_max``, and resets to
+``cw_min`` after a success or a final drop.  The backoff *counter* is
+drawn uniformly from ``[0, cw]`` and decremented one slot at a time
+while the medium stays idle; it freezes while the medium is busy —
+the freezing itself is orchestrated by the DCF, this class only owns
+the window arithmetic and the draw.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.errors import ConfigurationError
+
+
+class BackoffWindow:
+    """Contention-window state machine for one station."""
+
+    def __init__(self, cw_min: int, cw_max: int, rng: random.Random):
+        if cw_min < 1 or cw_max < cw_min:
+            raise ConfigurationError(
+                f"bad contention window bounds: [{cw_min}, {cw_max}]")
+        self.cw_min = cw_min
+        self.cw_max = cw_max
+        self._cw = cw_min
+        self._rng = rng
+        self.stage = 0  # number of consecutive failures (diagnostics)
+
+    @property
+    def cw(self) -> int:
+        """Current contention window size."""
+        return self._cw
+
+    def draw(self) -> int:
+        """Draw a backoff counter uniformly from [0, cw]."""
+        return self._rng.randint(0, self._cw)
+
+    def on_failure(self) -> None:
+        """Double the window after a failed attempt (collision / no ACK)."""
+        self._cw = min(2 * (self._cw + 1) - 1, self.cw_max)
+        self.stage += 1
+
+    def on_success(self) -> None:
+        """Reset to the minimum window after a successful exchange."""
+        self._cw = self.cw_min
+        self.stage = 0
+
+    def reset(self) -> None:
+        """Reset after a frame is dropped at the retry limit."""
+        self.on_success()

@@ -1,0 +1,696 @@
+"""The IEEE 802.11 Distributed Coordination Function.
+
+:class:`DcfMac` is a complete CSMA/CA MAC on top of a
+:class:`~repro.phy.transceiver.Radio`:
+
+* physical + virtual carrier sense (CCA + NAV),
+* DIFS/EIFS waits and slot-by-slot binary-exponential backoff that
+  freezes while the medium is busy,
+* ACK-protected unicast with short/long retry limits and contention
+  window doubling,
+* optional RTS/CTS reservation above the RTS threshold,
+* MSDU fragmentation into SIFS-separated, individually-ACKed bursts,
+* per-destination sequence numbering, receiver-side duplicate
+  rejection and fragment reassembly,
+* per-destination rate adaptation (ARF/AARF/fixed/ideal) for data
+  frames, control responses at the basic rate,
+* management-frame transmission (beacons broadcast un-ACKed; unicast
+  management ACKed like data) for the association layer above.
+
+The implementation is callback-driven on the simulation kernel; all
+timing uses the PHY standard's slot/SIFS/DIFS constants, so the MAC's
+behaviour under contention matches the analytic (Bianchi) saturation
+model — which is exactly what benchmark E10 checks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..core.engine import EventHandle, Simulator
+from ..core.errors import ConfigurationError, SimulationError
+from ..core.stats import Counter
+from ..phy.standards import PhyMode
+from ..phy.transceiver import PhyListener, Radio
+from .addresses import BROADCAST, MacAddress
+from .backoff import BackoffWindow
+from .dedup import DuplicateCache
+from .fragmentation import Fragment, Reassembler, fragment_payload
+from .frames import (
+    ACK_SIZE_BYTES,
+    CTS_SIZE_BYTES,
+    ControlSubtype,
+    DataSubtype,
+    Dot11Frame,
+    FrameType,
+    ManagementSubtype,
+    SEQUENCE_MODULO,
+    make_ack,
+    make_cts,
+    make_data,
+    make_management,
+    make_null,
+    make_ps_poll,
+    make_rts,
+)
+from .nav import Nav
+from .queueing import DropTailQueue, Msdu
+from .rate_adapt import Arf, RateController, RateControllerFactory
+
+
+@dataclass
+class DcfConfig:
+    """MAC-level knobs (defaults follow the standard's usual values)."""
+
+    #: Frames whose on-air size exceeds this many bytes use RTS/CTS.
+    rts_threshold_bytes: int = 2347  # default: RTS off
+    #: MSDU payloads longer than this are fragmented.
+    fragmentation_threshold_bytes: int = 2346  # default: fragmentation off
+    short_retry_limit: int = 7
+    long_retry_limit: int = 4
+    queue_capacity: int = 128
+    #: Extra slack added to response timeouts (processing delay).
+    timeout_margin: float = 10e-6
+
+    def __post_init__(self) -> None:
+        if self.rts_threshold_bytes < 0:
+            raise ConfigurationError("rts_threshold_bytes must be >= 0")
+        if self.fragmentation_threshold_bytes < 256:
+            raise ConfigurationError(
+                "fragmentation_threshold_bytes must be >= 256")
+        if self.short_retry_limit < 1 or self.long_retry_limit < 1:
+            raise ConfigurationError("retry limits must be >= 1")
+
+
+class MacListener:
+    """Upcall interface for the layer above the MAC.  No-op defaults."""
+
+    def mac_receive(self, source: MacAddress, destination: MacAddress,
+                    payload: bytes, meta: Dict[str, Any]) -> None:
+        """A (reassembled, deduplicated) data MSDU arrived."""
+
+    def mac_management(self, frame: Dot11Frame, snr_db: float) -> None:
+        """A management frame addressed to us (or broadcast) arrived."""
+
+    def mac_tx_complete(self, msdu: Msdu, success: bool) -> None:
+        """A queued MSDU finished (delivered+ACKed, or dropped)."""
+
+    def mac_ps_poll(self, station: MacAddress, aid: int) -> None:
+        """A PS-Poll arrived (APs release one buffered frame)."""
+
+    def mac_power_state(self, station: MacAddress,
+                        power_save: bool) -> None:
+        """A data/null frame announced the sender's PM bit state."""
+
+
+class _TxContext:
+    """State of the MSDU currently being transmitted."""
+
+    __slots__ = ("msdu", "mgmt_subtype", "fragments", "frag_index",
+                 "sequence", "use_rts", "attempts", "rts_attempts",
+                 "cts_received", "is_broadcast", "controller")
+
+    def __init__(self, msdu: Msdu, mgmt_subtype: Optional[ManagementSubtype],
+                 fragments: List[Fragment], sequence: int, use_rts: bool,
+                 controller: RateController):
+        self.msdu = msdu
+        self.mgmt_subtype = mgmt_subtype
+        self.fragments = fragments
+        self.frag_index = 0
+        self.sequence = sequence
+        self.use_rts = use_rts
+        self.attempts = 0
+        self.rts_attempts = 0
+        self.cts_received = False
+        self.is_broadcast = msdu.destination.is_broadcast or \
+            msdu.destination.is_multicast
+        self.controller = controller
+
+    @property
+    def current_fragment(self) -> Fragment:
+        return self.fragments[self.frag_index]
+
+    @property
+    def has_more_fragments(self) -> bool:
+        return self.frag_index < len(self.fragments) - 1
+
+
+class DcfMac(PhyListener):
+    """One station's DCF MAC entity."""
+
+    def __init__(self, sim: Simulator, radio: Radio, address: MacAddress,
+                 config: Optional[DcfConfig] = None,
+                 rate_factory: Optional[RateControllerFactory] = None):
+        self.sim = sim
+        self.radio = radio
+        self.address = address
+        self.config = config if config is not None else DcfConfig()
+        self._rate_factory = rate_factory if rate_factory is not None else Arf
+        radio.listener = self
+        self.listener: MacListener = MacListener()
+        #: Promiscuous tap: called with every successfully decoded frame.
+        self.sniffer: Optional[Callable[[Dot11Frame, float], None]] = None
+        #: BSSID this MAC stamps into data/management frames (set by the
+        #: association layer; defaults to our own address, i.e. IBSS-style).
+        self.bssid: MacAddress = address
+        #: When True, outgoing data frames carry the Power Management bit.
+        self.power_management = False
+
+        standard = radio.standard
+        rng = sim.rng.stream(f"mac.{address}")
+        self.queue = DropTailQueue(sim, self.config.queue_capacity)
+        self.backoff = BackoffWindow(standard.cw_min, standard.cw_max, rng)
+        self.nav = Nav(sim, on_expire=self._maybe_start_ifs)
+        self.dedup = DuplicateCache()
+        self.reassembler = Reassembler()
+        self.counters = Counter()
+        self._controllers: Dict[MacAddress, RateController] = {}
+        self._sequence = 0
+        self._current: Optional[_TxContext] = None
+        self._backoff_remaining: Optional[int] = None
+        self._ifs_timer: Optional[EventHandle] = None
+        self._slot_timer: Optional[EventHandle] = None
+        self._response_timer: Optional[EventHandle] = None
+        self._pending_send: Optional[EventHandle] = None
+        self._tx_continuation: Optional[Callable[[], None]] = None
+        self._awaiting: Optional[str] = None  # "cts" | "ack" | None
+        self._use_eifs = False
+        self._basic_mode = standard.mode_for_rate(standard.basic_rate_bps)
+
+    # ------------------------------------------------------------------ API
+
+    def send(self, destination: MacAddress, payload: bytes,
+             protected: bool = False, context: Any = None,
+             meta: Optional[Dict[str, Any]] = None) -> bool:
+        """Queue a data MSDU for transmission.  Returns False on overflow."""
+        msdu = Msdu(destination=destination, payload=payload,
+                    protected=protected, context=context,
+                    meta=dict(meta) if meta else {})
+        return self._enqueue(msdu)
+
+    def send_management(self, subtype: ManagementSubtype,
+                        destination: MacAddress, body: bytes,
+                        context: Any = None) -> bool:
+        """Queue a management frame (beacon, auth, assoc, ...)."""
+        msdu = Msdu(destination=destination, payload=body, context=context,
+                    meta={"mgmt": subtype})
+        return self._enqueue(msdu)
+
+    def send_null(self, destination: MacAddress,
+                  power_management: bool) -> bool:
+        """Queue a null data frame announcing a PM state change."""
+        msdu = Msdu(destination=destination, payload=b"",
+                    meta={"null": True, "pm": power_management})
+        return self._enqueue(msdu)
+
+    def send_ps_poll(self, aid: int) -> bool:
+        """Queue a PS-Poll toward our BSSID to retrieve a buffered frame."""
+        msdu = Msdu(destination=self.bssid, payload=b"",
+                    meta={"ps_poll": True, "aid": aid})
+        return self._enqueue(msdu)
+
+    def rate_controller_for(self, peer: MacAddress) -> RateController:
+        """The (lazily created) rate controller for a destination."""
+        controller = self._controllers.get(peer)
+        if controller is None:
+            controller = self._rate_factory(self.radio.standard)
+            self._controllers[peer] = controller
+        return controller
+
+    @property
+    def idle(self) -> bool:
+        """No MSDU in flight and nothing queued."""
+        return self._current is None and self.queue.empty
+
+    # --------------------------------------------------------------- queueing
+
+    def _enqueue(self, msdu: Msdu) -> bool:
+        accepted = self.queue.offer(msdu)
+        if not accepted:
+            self.counters.incr("queue_drops")
+            return False
+        if self._current is None:
+            self._begin_contention(draw_backoff=False)
+        return True
+
+    def _begin_contention(self, draw_backoff: bool) -> None:
+        """Pull the next MSDU (if any) and enter channel access."""
+        if self._current is None:
+            msdu = self.queue.poll()
+            if msdu is None:
+                return
+            self._current = self._prepare_context(msdu)
+        if draw_backoff or self._backoff_remaining is None:
+            if draw_backoff:
+                self._backoff_remaining = self.backoff.draw()
+            else:
+                # Fresh arrival: immediate access after DIFS if the medium
+                # is idle right now, otherwise contend with a full draw.
+                self._backoff_remaining = 0 if self._medium_idle() \
+                    else self.backoff.draw()
+        self._maybe_start_ifs()
+
+    def _prepare_context(self, msdu: Msdu) -> _TxContext:
+        mgmt = msdu.meta.get("mgmt")
+        if mgmt is not None:
+            fragments = [Fragment(0, False, msdu.payload)]
+        else:
+            fragments = fragment_payload(
+                msdu.payload, self.config.fragmentation_threshold_bytes)
+        sequence = self._sequence
+        self._sequence = (self._sequence + 1) % SEQUENCE_MODULO
+        controller = self.rate_controller_for(msdu.destination)
+        first = self._frame_for(msdu, mgmt, fragments, 0, sequence,
+                                retry=False)
+        use_rts = (mgmt is None
+                   and not msdu.destination.is_broadcast
+                   and not msdu.destination.is_multicast
+                   and first.wire_size_bytes() > self.config.rts_threshold_bytes)
+        return _TxContext(msdu, mgmt, fragments, sequence, use_rts, controller)
+
+    # ----------------------------------------------------------- carrier sense
+
+    def _medium_idle(self) -> bool:
+        return not self.radio.cca_busy() and not self.nav.busy
+
+    def _maybe_start_ifs(self) -> None:
+        """Arm the DIFS/EIFS wait if we are contending and all is quiet."""
+        if self._current is None or self._awaiting is not None:
+            return
+        if self._tx_continuation is not None or self._pending_send is not None:
+            return  # mid-exchange (about to transmit / SIFS response)
+        if self._ifs_timer is not None or self._slot_timer is not None:
+            return
+        if not self._medium_idle():
+            return
+        wait = self.radio.standard.eifs if self._use_eifs \
+            else self.radio.standard.difs
+        self._ifs_timer = self.sim.schedule(wait, self._ifs_expired)
+
+    def _cancel_access_timers(self) -> None:
+        if self._ifs_timer is not None:
+            self._ifs_timer.cancel()
+            self._ifs_timer = None
+        if self._slot_timer is not None:
+            self._slot_timer.cancel()
+            self._slot_timer = None
+
+    def _ifs_expired(self) -> None:
+        self._ifs_timer = None
+        self._use_eifs = False
+        if self._backoff_remaining is None:
+            self._backoff_remaining = self.backoff.draw()
+        if self._backoff_remaining <= 0:
+            self._access_won()
+        else:
+            self._slot_timer = self.sim.schedule(
+                self.radio.standard.slot_time, self._slot_tick)
+
+    def _slot_tick(self) -> None:
+        self._slot_timer = None
+        if self._backoff_remaining is None:
+            raise SimulationError("slot tick without backoff state")
+        self._backoff_remaining -= 1
+        if self._backoff_remaining <= 0:
+            self._access_won()
+        else:
+            self._slot_timer = self.sim.schedule(
+                self.radio.standard.slot_time, self._slot_tick)
+
+    def _access_won(self) -> None:
+        self._backoff_remaining = None
+        ctx = self._current
+        if ctx is None:
+            return
+        if ctx.use_rts and not ctx.cts_received and ctx.frag_index == 0:
+            self._send_rts()
+        else:
+            self._send_data_fragment()
+
+    # --------------------------------------------------------------- timings
+
+    def _airtime(self, size_bytes: int, mode: PhyMode) -> float:
+        return self.radio.standard.frame_airtime(size_bytes * 8, mode)
+
+    def _ack_time(self) -> float:
+        return self._airtime(ACK_SIZE_BYTES, self._basic_mode)
+
+    def _cts_time(self) -> float:
+        return self._airtime(CTS_SIZE_BYTES, self._basic_mode)
+
+    @staticmethod
+    def _us(seconds: float) -> int:
+        return min(int(math.ceil(seconds * 1e6)), 0xFFFF)
+
+    # --------------------------------------------------------------- transmit
+
+    def _frame_for(self, msdu: Msdu, mgmt: Optional[ManagementSubtype],
+                   fragments: List[Fragment], index: int, sequence: int,
+                   retry: bool) -> Dot11Frame:
+        from dataclasses import replace as _replace
+        fragment = fragments[index]
+        if msdu.meta.get("ps_poll"):
+            frame = make_ps_poll(self.address, self.bssid,
+                                 aid=msdu.meta.get("aid", 0))
+            return frame.with_retry() if retry else frame
+        if msdu.meta.get("null"):
+            frame = make_null(self.address, msdu.destination, self.bssid,
+                              sequence,
+                              power_management=bool(msdu.meta.get("pm")),
+                              to_ds=msdu.destination == self.bssid)
+            return frame.with_retry() if retry else frame
+        if mgmt is not None:
+            frame = make_management(mgmt, self.address, msdu.destination,
+                                    self.bssid, fragment.payload,
+                                    sequence=sequence)
+        else:
+            to_ds = bool(msdu.meta.get("to_ds"))
+            from_ds = bool(msdu.meta.get("from_ds"))
+            if to_ds:
+                receiver, addr3 = self.bssid, msdu.destination
+            elif from_ds:
+                receiver = msdu.destination
+                addr3 = msdu.meta.get("source", self.address)
+            else:
+                receiver, addr3 = msdu.destination, self.bssid
+            frame = make_data(self.address, receiver, addr3,
+                              fragment.payload, sequence,
+                              fragment=fragment.index,
+                              more_fragments=fragment.more_fragments,
+                              to_ds=to_ds, from_ds=from_ds,
+                              protected=msdu.protected)
+        if self.power_management or msdu.meta.get("more_data"):
+            frame = _replace(frame, fc=_replace(
+                frame.fc,
+                power_management=self.power_management,
+                more_data=bool(msdu.meta.get("more_data"))))
+        return frame.with_retry() if retry else frame
+
+    def _data_duration(self, ctx: _TxContext, mode: PhyMode) -> int:
+        """Duration field of a data fragment: protect the ACK, and the
+        next fragment + its ACK when the burst continues."""
+        if ctx.is_broadcast:
+            return 0
+        sifs = self.radio.standard.sifs
+        total = sifs + self._ack_time()
+        if ctx.has_more_fragments:
+            next_frame = self._frame_for(ctx.msdu, ctx.mgmt_subtype,
+                                         ctx.fragments, ctx.frag_index + 1,
+                                         ctx.sequence, retry=False)
+            total += 2 * sifs + \
+                self._airtime(next_frame.wire_size_bytes(), mode) + \
+                self._ack_time()
+        return self._us(total)
+
+    def _send_rts(self) -> None:
+        ctx = self._current
+        assert ctx is not None
+        mode = ctx.controller.current_mode()
+        data_frame = self._frame_for(ctx.msdu, ctx.mgmt_subtype,
+                                     ctx.fragments, ctx.frag_index,
+                                     ctx.sequence, retry=ctx.attempts > 0)
+        sifs = self.radio.standard.sifs
+        duration = 3 * sifs + self._cts_time() + \
+            self._airtime(data_frame.wire_size_bytes(), mode) + \
+            self._ack_time()
+        rts = make_rts(self.address, ctx.msdu.destination, self._us(duration))
+        self.counters.incr("tx_rts")
+        self._transmit_frame(rts, self._basic_mode,
+                             continuation=self._after_rts_tx)
+
+    def _after_rts_tx(self) -> None:
+        timeout = self.radio.standard.sifs + self._cts_time() + \
+            self.radio.standard.slot_time + self.config.timeout_margin
+        self._awaiting = "cts"
+        self._response_timer = self.sim.schedule(timeout,
+                                                 self._response_timeout)
+
+    def _send_data_fragment(self) -> None:
+        ctx = self._current
+        assert ctx is not None
+        mode = ctx.controller.current_mode() if not ctx.is_broadcast \
+            else self._basic_mode
+        if ctx.mgmt_subtype is not None:
+            mode = self._basic_mode
+        frame = self._frame_for(ctx.msdu, ctx.mgmt_subtype, ctx.fragments,
+                                ctx.frag_index, ctx.sequence,
+                                retry=ctx.attempts > 0)
+        if not ctx.msdu.meta.get("ps_poll"):
+            # PS-Poll's duration field carries the AID, not a reservation.
+            frame = self._with_duration(frame,
+                                        self._data_duration(ctx, mode))
+        ctx.attempts += 1
+        self.counters.incr("tx_data")
+        self.counters.incr("tx_data_bytes", frame.wire_size_bytes())
+        if ctx.is_broadcast:
+            self._transmit_frame(frame, mode,
+                                 continuation=self._after_broadcast_tx)
+        else:
+            self._transmit_frame(frame, mode,
+                                 continuation=self._after_data_tx)
+
+    @staticmethod
+    def _with_duration(frame: Dot11Frame, duration_us: int) -> Dot11Frame:
+        from dataclasses import replace
+        return replace(frame, duration_us=duration_us)
+
+    def _after_data_tx(self) -> None:
+        timeout = self.radio.standard.sifs + self._ack_time() + \
+            self.radio.standard.slot_time + self.config.timeout_margin
+        self._awaiting = "ack"
+        self._response_timer = self.sim.schedule(timeout,
+                                                 self._response_timeout)
+
+    def _after_broadcast_tx(self) -> None:
+        self._complete_current(success=True)
+
+    def _transmit_frame(self, frame: Dot11Frame, mode: PhyMode,
+                        continuation: Callable[[], None]) -> None:
+        self._cancel_access_timers()
+        self._tx_continuation = continuation
+        self.radio.transmit(frame, frame.wire_size_bits(), mode)
+
+    # ------------------------------------------------------- PHY upcalls
+
+    def phy_tx_end(self) -> None:
+        continuation = self._tx_continuation
+        self._tx_continuation = None
+        if continuation is not None:
+            continuation()
+        # Responses (ACK/CTS we sent) have no continuation state change;
+        # resume contention if we were in the middle of it.
+        self._maybe_start_ifs()
+
+    def phy_cca_busy(self) -> None:
+        self._cancel_access_timers()
+
+    def phy_cca_idle(self) -> None:
+        self._maybe_start_ifs()
+
+    def phy_rx_end(self, payload: Any, success: bool, snr_db: float,
+                   mode: PhyMode) -> None:
+        if not isinstance(payload, Dot11Frame):
+            return  # foreign-MAC traffic sharing the band: energy only
+        if not success:
+            # Undecodable frame: defer with EIFS next time.
+            self._use_eifs = True
+            self.counters.incr("rx_corrupt")
+            self._maybe_start_ifs()
+            return
+        frame = payload
+        if self.sniffer is not None:
+            self.sniffer(frame, snr_db)
+        addressed_to_us = frame.addr1 == self.address
+        broadcast = frame.addr1.is_broadcast or frame.addr1.is_multicast
+        if frame.transmitter is not None:
+            self.rate_controller_for(frame.transmitter)\
+                .on_snr_measurement(snr_db)
+        if not addressed_to_us and not broadcast:
+            self._overheard(frame)
+            self._maybe_start_ifs()
+            return
+        if frame.is_control:
+            self._receive_control(frame, snr_db)
+        elif frame.is_data:
+            self._receive_data(frame, snr_db, broadcast)
+        else:
+            self._receive_management(frame, snr_db, broadcast)
+        self._maybe_start_ifs()
+
+    # ---------------------------------------------------------- overhearing
+
+    def _overheard(self, frame: Dot11Frame) -> None:
+        """Set the NAV from a frame not addressed to us."""
+        if frame.fc.subtype == ControlSubtype.PS_POLL and frame.is_control:
+            return  # PS-Poll duration field carries an AID, not time
+        if frame.duration_us > 0:
+            self.nav.set_duration(frame.duration_us * 1e-6)
+            self.counters.incr("nav_updates")
+
+    # ------------------------------------------------------------- control rx
+
+    def _receive_control(self, frame: Dot11Frame, snr_db: float) -> None:
+        # ACK/CTS carry no transmitter address, but while we await one we
+        # know who it is from: feed its SNR to the link's rate controller
+        # (the "ACK RSSI" estimate real drivers use).
+        if (frame.is_ack or frame.is_cts) and self._current is not None:
+            self._current.controller.on_snr_measurement(snr_db)
+        if frame.fc.subtype == ControlSubtype.PS_POLL:
+            self.counters.incr("rx_ps_poll")
+            if frame.transmitter is not None:
+                self._schedule_response(make_ack(frame.transmitter))
+                self.listener.mac_ps_poll(frame.transmitter,
+                                          frame.duration_us)
+        elif frame.is_rts:
+            self.counters.incr("rx_rts")
+            # Respond with CTS only if our NAV is clear (standard rule).
+            if not self.nav.busy:
+                duration = max(
+                    frame.duration_us
+                    - self._us(self.radio.standard.sifs + self._cts_time()),
+                    0)
+                cts = make_cts(frame.transmitter, duration)
+                self._schedule_response(cts)
+        elif frame.is_cts:
+            if self._awaiting == "cts":
+                self._cancel_response_timer()
+                self._awaiting = None
+                ctx = self._current
+                assert ctx is not None
+                ctx.cts_received = True
+                ctx.rts_attempts = 0
+                self.counters.incr("rx_cts")
+                self._pending_send = self.sim.schedule(
+                    self.radio.standard.sifs, self._sifs_send_data)
+        elif frame.is_ack:
+            if self._awaiting == "ack":
+                self._cancel_response_timer()
+                self._awaiting = None
+                self.counters.incr("rx_ack")
+                self._fragment_acked()
+
+    def _sifs_send_data(self) -> None:
+        self._pending_send = None
+        self._send_data_fragment()
+
+    def _schedule_response(self, frame: Dot11Frame) -> None:
+        """Send a control response exactly one SIFS after reception."""
+        self.sim.schedule(self.radio.standard.sifs,
+                          self._transmit_response, frame)
+
+    def _transmit_response(self, frame: Dot11Frame) -> None:
+        if self.radio.state.value in ("tx", "sleep"):
+            return  # mid-transmission or dozed off: drop the response
+        self._cancel_access_timers()
+        self._tx_continuation = None
+        self.radio.transmit(frame, frame.wire_size_bits(), self._basic_mode)
+
+    # ---------------------------------------------------------------- data rx
+
+    def _receive_data(self, frame: Dot11Frame, snr_db: float,
+                      broadcast: bool) -> None:
+        self.counters.incr("rx_data")
+        if not broadcast:
+            self._schedule_response(make_ack(frame.transmitter))
+        if frame.transmitter is None:
+            return
+        # Every data frame announces its sender's power-management state.
+        self.listener.mac_power_state(frame.transmitter,
+                                      frame.fc.power_management)
+        if self.dedup.is_duplicate(frame.transmitter, frame.seq.sequence,
+                                   frame.seq.fragment, frame.fc.retry):
+            self.counters.incr("rx_duplicates")
+            return
+        if frame.fc.subtype == DataSubtype.NULL:
+            self.counters.incr("rx_null")
+            return  # PM signalling only; nothing to deliver
+        msdu = self.reassembler.add_fragment(
+            self.sim.now, frame.transmitter, frame.seq.sequence,
+            frame.seq.fragment, frame.fc.more_fragments, frame.body)
+        if msdu is None:
+            return  # waiting for more fragments
+        if frame.fc.to_ds:
+            source, destination = frame.addr2, frame.addr3
+        elif frame.fc.from_ds:
+            source, destination = frame.addr3, frame.addr1
+        else:
+            source, destination = frame.addr2, frame.addr1
+        meta = {"snr_db": snr_db, "protected": frame.fc.protected,
+                "to_ds": frame.fc.to_ds, "from_ds": frame.fc.from_ds,
+                "transmitter": frame.transmitter, "rx_time": self.sim.now,
+                "more_data": frame.fc.more_data}
+        if source is None or destination is None:
+            return
+        self.listener.mac_receive(source, destination, msdu, meta)
+
+    def _receive_management(self, frame: Dot11Frame, snr_db: float,
+                            broadcast: bool) -> None:
+        self.counters.incr("rx_mgmt")
+        if not broadcast and frame.transmitter is not None:
+            self._schedule_response(make_ack(frame.transmitter))
+            if self.dedup.is_duplicate(frame.transmitter, frame.seq.sequence,
+                                       frame.seq.fragment, frame.fc.retry):
+                self.counters.incr("rx_duplicates")
+                return
+        self.listener.mac_management(frame, snr_db)
+
+    # ----------------------------------------------------------- completion
+
+    def _cancel_response_timer(self) -> None:
+        if self._response_timer is not None:
+            self._response_timer.cancel()
+            self._response_timer = None
+
+    def _fragment_acked(self) -> None:
+        ctx = self._current
+        assert ctx is not None
+        ctx.controller.on_success()
+        ctx.attempts = 0
+        self.backoff.on_success()
+        if ctx.has_more_fragments:
+            ctx.frag_index += 1
+            self.counters.incr("fragments_sent")
+            self._pending_send = self.sim.schedule(
+                self.radio.standard.sifs, self._sifs_send_data)
+        else:
+            self._complete_current(success=True)
+
+    def _response_timeout(self) -> None:
+        self._response_timer = None
+        awaited = self._awaiting
+        self._awaiting = None
+        ctx = self._current
+        if ctx is None:
+            return
+        ctx.controller.on_failure()
+        self.backoff.on_failure()
+        if awaited == "cts":
+            ctx.rts_attempts += 1
+            self.counters.incr("cts_timeouts")
+            if ctx.rts_attempts >= self.config.short_retry_limit:
+                self._complete_current(success=False)
+                return
+        else:
+            self.counters.incr("ack_timeouts")
+            limit = (self.config.short_retry_limit if not ctx.use_rts
+                     else self.config.long_retry_limit)
+            if ctx.attempts >= limit:
+                self._complete_current(success=False)
+                return
+            # A retransmitted fragment burst re-arms RTS protection.
+            ctx.cts_received = False
+        self._backoff_remaining = self.backoff.draw()
+        self._maybe_start_ifs()
+
+    def _complete_current(self, success: bool) -> None:
+        ctx = self._current
+        self._current = None
+        self._backoff_remaining = None
+        self.backoff.on_success() if success else self.backoff.reset()
+        if ctx is not None:
+            self.counters.incr("msdu_delivered" if success else "msdu_dropped")
+            self.listener.mac_tx_complete(ctx.msdu, success)
+        # Post-transmission backoff before the next queued MSDU.
+        self._begin_contention(draw_backoff=True)

@@ -1,0 +1,57 @@
+"""CRC-32 frame check sequence, implemented from scratch.
+
+This is the IEEE 802.3/802.11 CRC-32 (polynomial 0x04C11DB7, reflected
+form 0xEDB88320, initial value and final XOR of 0xFFFFFFFF).  It is
+implemented here rather than via :mod:`zlib` because the security
+subsystem needs to *reason* about the CRC — the WEP bit-flip attack
+exploits CRC linearity, and the attack code manipulates the same
+table-driven implementation the frames use.
+
+The linearity property the attack relies on:
+
+    crc32(a XOR b) == crc32(a) XOR crc32(b) XOR crc32(zeros(len))
+
+for equal-length inputs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+_POLY_REFLECTED = 0xEDB88320
+
+
+def _build_table() -> List[int]:
+    table = []
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            if crc & 1:
+                crc = (crc >> 1) ^ _POLY_REFLECTED
+            else:
+                crc >>= 1
+        table.append(crc)
+    return table
+
+
+_TABLE = _build_table()
+
+
+def crc32(data: bytes, initial: int = 0) -> int:
+    """CRC-32 of ``data``; ``initial`` chains partial computations."""
+    crc = initial ^ 0xFFFFFFFF
+    for byte in data:
+        crc = (crc >> 8) ^ _TABLE[(crc ^ byte) & 0xFF]
+    return crc ^ 0xFFFFFFFF
+
+
+def fcs_bytes(data: bytes) -> bytes:
+    """The 4-byte FCS field for a frame body (little-endian on the wire)."""
+    return crc32(data).to_bytes(4, "little")
+
+
+def verify_fcs(data: bytes, fcs: bytes) -> bool:
+    """Check a received frame's FCS."""
+    if len(fcs) != 4:
+        return False
+    return fcs_bytes(data) == fcs

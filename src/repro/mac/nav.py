@@ -1,0 +1,65 @@
+"""Network Allocation Vector — virtual carrier sensing.
+
+Every 802.11 frame's duration field announces how long the remainder of
+its frame exchange will occupy the medium.  Stations that overhear a
+frame *not addressed to them* set their NAV accordingly and treat the
+medium as busy until it expires, even if the air goes quiet — this is
+what protects an ACK (or a CTS-reserved data frame) from a station that
+cannot hear the other end of the exchange.
+
+The NAV only ever moves forward: a shorter overheard duration never
+truncates a longer reservation already in place.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..core.engine import EventHandle, Simulator
+
+
+class Nav:
+    """Per-station NAV timer with an expiry callback."""
+
+    def __init__(self, sim: Simulator,
+                 on_expire: Optional[Callable[[], None]] = None):
+        self._sim = sim
+        self._until = 0.0
+        self._on_expire = on_expire
+        self._timer: Optional[EventHandle] = None
+
+    @property
+    def busy(self) -> bool:
+        """True while the NAV reservation is in the future."""
+        return self._sim.now < self._until
+
+    @property
+    def until(self) -> float:
+        return self._until
+
+    def set_until(self, time: float) -> None:
+        """Extend the NAV to ``time`` (ignored if it would shorten it)."""
+        if time <= self._until:
+            return
+        self._until = time
+        if self._timer is not None:
+            self._timer.cancel()
+        if self._on_expire is not None:
+            self._timer = self._sim.schedule(max(time - self._sim.now, 0.0),
+                                             self._fire)
+
+    def set_duration(self, duration: float) -> None:
+        """Extend the NAV ``duration`` seconds from now."""
+        self.set_until(self._sim.now + duration)
+
+    def clear(self) -> None:
+        """Cancel the reservation (e.g. CF-End, or test teardown)."""
+        self._until = 0.0
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _fire(self) -> None:
+        self._timer = None
+        if not self.busy and self._on_expire is not None:
+            self._on_expire()

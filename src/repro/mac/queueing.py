@@ -1,0 +1,93 @@
+"""The MAC interface queue.
+
+A bounded drop-tail FIFO sitting between the upper layer and the DCF.
+It tracks occupancy over time (for queueing-delay analysis) and counts
+drops so saturation experiments can report offered vs. carried load.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Optional
+
+from ..core.engine import Simulator
+from ..core.errors import ConfigurationError
+from ..core.stats import TimeWeightedStat
+from .addresses import MacAddress
+
+
+@dataclass
+class Msdu:
+    """One upper-layer packet queued for transmission."""
+
+    destination: MacAddress
+    payload: bytes
+    enqueued_at: float = 0.0
+    protected: bool = False
+    #: Opaque upper-layer context returned in completion callbacks.
+    context: Any = None
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.payload)
+
+
+class DropTailQueue:
+    """Bounded FIFO with occupancy statistics."""
+
+    def __init__(self, sim: Simulator, capacity: int = 64):
+        if capacity < 1:
+            raise ConfigurationError(f"queue capacity must be >= 1: {capacity}")
+        self._sim = sim
+        self._capacity = capacity
+        self._queue: Deque[Msdu] = deque()
+        self._occupancy = TimeWeightedStat(0.0, sim.now)
+        self.enqueued = 0
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._queue
+
+    @property
+    def full(self) -> bool:
+        return len(self._queue) >= self._capacity
+
+    def offer(self, msdu: Msdu) -> bool:
+        """Enqueue; returns False (and counts a drop) when full."""
+        if self.full:
+            self.dropped += 1
+            return False
+        msdu.enqueued_at = self._sim.now
+        self._queue.append(msdu)
+        self.enqueued += 1
+        self._occupancy.update(self._sim.now, len(self._queue))
+        return True
+
+    def poll(self) -> Optional[Msdu]:
+        """Dequeue the head, or None when empty."""
+        if not self._queue:
+            return None
+        msdu = self._queue.popleft()
+        self._occupancy.update(self._sim.now, len(self._queue))
+        return msdu
+
+    def peek(self) -> Optional[Msdu]:
+        return self._queue[0] if self._queue else None
+
+    def mean_occupancy(self) -> float:
+        self._occupancy.finish(self._sim.now)
+        return self._occupancy.mean
+
+    def clear(self) -> None:
+        self._queue.clear()
+        self._occupancy.update(self._sim.now, 0.0)

@@ -1,0 +1,15 @@
+"""Mobility models: static, linear, random waypoint."""
+
+from .models import (
+    LinearMobility,
+    MobilityModel,
+    RandomWaypoint,
+    StaticMobility,
+)
+
+__all__ = [
+    "LinearMobility",
+    "MobilityModel",
+    "RandomWaypoint",
+    "StaticMobility",
+]

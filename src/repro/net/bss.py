@@ -1,0 +1,110 @@
+"""Service-set descriptors: BSS, IBSS, ESS.
+
+These are thin coordination objects over the APs/stations that *are*
+the network (source text §3.1):
+
+* a :class:`BasicServiceSet` is one AP plus its associated stations,
+* an :class:`IndependentBss` is an ad-hoc set of peer stations sharing
+  a generated BSSID and no AP,
+* an :class:`ExtendedServiceSet` is one SSID spanning several APs glued
+  together by a :class:`~repro.net.ds.DistributionSystem`, appearing as
+  a single network to the stations.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core.engine import Simulator
+from ..core.errors import ConfigurationError
+from ..mac.addresses import MacAddress
+from .ap import AccessPoint
+from .ds import DistributionSystem
+from .station import Station
+
+
+@dataclass
+class BasicServiceSet:
+    """One infrastructure BSS: an AP and its stations."""
+
+    ap: AccessPoint
+    stations: List[Station] = field(default_factory=list)
+
+    @property
+    def bssid(self) -> MacAddress:
+        return self.ap.bssid
+
+    @property
+    def ssid(self) -> str:
+        return self.ap.ssid
+
+    def add_station(self, station: Station) -> None:
+        if station.adhoc:
+            raise ConfigurationError("ad-hoc station cannot join a BSS")
+        self.stations.append(station)
+
+    def associated_stations(self) -> List[Station]:
+        return [station for station in self.stations
+                if station.serving_ap == self.bssid]
+
+
+def generate_ibss_bssid(rng: random.Random) -> MacAddress:
+    """The random, locally administered BSSID an IBSS starter picks
+    (source text §4.2, BSSID address description)."""
+    value = rng.getrandbits(46)
+    # Set locally-administered, clear group bit (first octet bits).
+    first_octet = ((value >> 40) & 0xFF & ~0x01) | 0x02
+    return MacAddress((first_octet << 40) | (value & ((1 << 40) - 1)))
+
+
+@dataclass
+class IndependentBss:
+    """An ad-hoc network: peer stations, no AP, no DS."""
+
+    bssid: MacAddress
+    stations: List[Station] = field(default_factory=list)
+
+    @classmethod
+    def start(cls, sim: Simulator) -> "IndependentBss":
+        rng = sim.rng.stream("ibss")
+        return cls(bssid=generate_ibss_bssid(rng))
+
+    def join(self, station: Station) -> None:
+        if not station.adhoc:
+            raise ConfigurationError("only ad-hoc stations can join an IBSS")
+        station.mac.bssid = self.bssid
+        self.stations.append(station)
+
+
+class ExtendedServiceSet:
+    """One SSID across several APs, bridged by a distribution system."""
+
+    def __init__(self, sim: Simulator, ssid: str,
+                 ds: Optional[DistributionSystem] = None):
+        self.sim = sim
+        self.ssid = ssid
+        self.ds = ds if ds is not None else DistributionSystem(sim)
+        self.bss_list: List[BasicServiceSet] = []
+
+    def add_ap(self, ap: AccessPoint) -> BasicServiceSet:
+        if ap.ssid != self.ssid:
+            raise ConfigurationError(
+                f"AP advertises {ap.ssid!r}, ESS is {self.ssid!r}")
+        if ap.ds is None:
+            ap.ds = self.ds
+            self.ds.attach_ap(ap)
+        elif ap.ds is not self.ds:
+            raise ConfigurationError("AP already belongs to another DS")
+        bss = BasicServiceSet(ap=ap)
+        self.bss_list.append(bss)
+        return bss
+
+    @property
+    def aps(self) -> List[AccessPoint]:
+        return [bss.ap for bss in self.bss_list]
+
+    def locate(self, station: MacAddress) -> Optional[AccessPoint]:
+        """Which AP is currently serving a station?"""
+        return self.ds.locate(station)

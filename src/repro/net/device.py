@@ -1,0 +1,96 @@
+"""The base wireless device: radio + MAC + upper-layer plumbing.
+
+A :class:`WirelessDevice` bundles the pieces every node needs — a
+:class:`~repro.phy.transceiver.Radio`, a :class:`~repro.mac.dcf.DcfMac`,
+and an upper-layer receive hook — and adapts the MAC listener interface
+into overridable methods.  :class:`~repro.net.ap.AccessPoint` and
+:class:`~repro.net.station.Station` build on it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from ..core.engine import Simulator
+from ..core.topology import Position
+from ..mac.addresses import MacAddress, allocate_address
+from ..mac.dcf import DcfConfig, DcfMac, MacListener
+from ..mac.frames import Dot11Frame
+from ..mac.queueing import Msdu
+from ..mac.rate_adapt import RateControllerFactory
+from ..phy.channel import Medium
+from ..phy.error_models import ErrorModel
+from ..phy.standards import PhyStandard
+from ..phy.transceiver import Radio, RadioConfig
+
+#: Upper-layer receive callback: (source, payload, meta) -> None.
+ReceiveHook = Callable[[MacAddress, bytes, Dict[str, Any]], None]
+
+
+class WirelessDevice(MacListener):
+    """A node with one radio and one 802.11 MAC."""
+
+    def __init__(self, sim: Simulator, medium: Medium, standard: PhyStandard,
+                 position: Position, name: Optional[str] = None,
+                 address: Optional[MacAddress] = None, channel_id: int = 1,
+                 mac_config: Optional[DcfConfig] = None,
+                 radio_config: Optional[RadioConfig] = None,
+                 rate_factory: Optional[RateControllerFactory] = None,
+                 error_model: Optional[ErrorModel] = None):
+        self.sim = sim
+        self.address = address if address is not None else allocate_address()
+        self.name = name if name is not None else f"dev-{self.address}"
+        self.radio = Radio(self.name, medium, standard, position,
+                           channel_id=channel_id, config=radio_config,
+                           error_model=error_model)
+        self.mac = DcfMac(sim, self.radio, self.address, config=mac_config,
+                          rate_factory=rate_factory)
+        self.mac.listener = self
+        self._receive_hook: Optional[ReceiveHook] = None
+        self._tx_complete_hook: Optional[Callable[[Msdu, bool], None]] = None
+
+    # --- geometry ----------------------------------------------------------
+
+    @property
+    def position(self) -> Position:
+        return self.radio.position
+
+    @position.setter
+    def position(self, value: Position) -> None:
+        self.radio.position = value
+
+    # --- upper layer ----------------------------------------------------------
+
+    def on_receive(self, hook: ReceiveHook) -> None:
+        """Register the upper-layer receive callback."""
+        self._receive_hook = hook
+
+    def on_tx_complete(self, hook: Callable[[Msdu, bool], None]) -> None:
+        """Register a per-MSDU completion callback (delivered or dropped)."""
+        self._tx_complete_hook = hook
+
+    def deliver_up(self, source: MacAddress, payload: bytes,
+                   meta: Dict[str, Any]) -> None:
+        """Hand an MSDU to the upper layer (hook point for subclasses)."""
+        if self._receive_hook is not None:
+            self._receive_hook(source, payload, meta)
+
+    # --- MacListener ------------------------------------------------------------
+
+    def mac_receive(self, source: MacAddress, destination: MacAddress,
+                    payload: bytes, meta: Dict[str, Any]) -> None:
+        if destination == self.address or destination.is_broadcast \
+                or destination.is_multicast:
+            self.deliver_up(source, payload, meta)
+
+    def mac_management(self, frame: Dot11Frame, snr_db: float) -> None:
+        """Management frames are handled by subclasses."""
+
+    def mac_tx_complete(self, msdu: Msdu, success: bool) -> None:
+        if self._tx_complete_hook is not None:
+            self._tx_complete_hook(msdu, success)
+
+    # --- convenience ------------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name} {self.address}>"

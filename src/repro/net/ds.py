@@ -1,0 +1,121 @@
+"""The distribution system (DS).
+
+The DS is "the mechanism by which APs exchange frames with one another
+and with wired networks" (source text §3.1).  We model the nearly
+universal commercial choice — a wired Ethernet backbone — as a
+constant-latency, reliable bus connecting every AP in an ESS, plus an
+optional **portal** representing the gateway to the wired LAN /
+Internet.
+
+The DS keeps the ESS-wide station location table: which AP each
+station is currently associated with.  APs update it on (re)association
+and disassociation, which is exactly what makes roaming seamless — the
+moment a station reassociates, frames for it flow through the new AP.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
+
+from ..core.engine import Simulator
+from ..core.errors import ConfigurationError
+from ..core.stats import Counter
+from ..mac.addresses import MacAddress
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .ap import AccessPoint
+
+#: Portal delivery callback: (source, destination, payload) -> None.
+PortalHook = Callable[[MacAddress, MacAddress, bytes], None]
+
+
+class DistributionSystem:
+    """Wired backbone connecting the APs of an ESS."""
+
+    def __init__(self, sim: Simulator, latency: float = 50e-6):
+        if latency < 0:
+            raise ConfigurationError(f"latency must be >= 0: {latency}")
+        self.sim = sim
+        self.latency = latency
+        self._aps: List["AccessPoint"] = []
+        self._locations: Dict[MacAddress, "AccessPoint"] = {}
+        self._portal: Optional[PortalHook] = None
+        self.counters = Counter()
+
+    # --- membership ------------------------------------------------------------
+
+    def attach_ap(self, ap: "AccessPoint") -> None:
+        if ap in self._aps:
+            raise ConfigurationError(f"AP {ap.name} attached twice")
+        self._aps.append(ap)
+
+    @property
+    def aps(self) -> List["AccessPoint"]:
+        return list(self._aps)
+
+    def set_portal(self, hook: PortalHook) -> None:
+        """Register the wired-LAN gateway callback."""
+        self._portal = hook
+
+    # --- the station location table ----------------------------------------------
+
+    def station_moved(self, station: MacAddress, ap: "AccessPoint") -> None:
+        """Record that ``station`` is now associated with ``ap``."""
+        previous = self._locations.get(station)
+        self._locations[station] = ap
+        if previous is not None and previous is not ap:
+            previous.station_roamed_away(station)
+            self.counters.incr("roams")
+
+    def station_left(self, station: MacAddress, ap: "AccessPoint") -> None:
+        """Remove the entry if it still points at ``ap``."""
+        if self._locations.get(station) is ap:
+            del self._locations[station]
+
+    def locate(self, station: MacAddress) -> Optional["AccessPoint"]:
+        return self._locations.get(station)
+
+    # --- forwarding -----------------------------------------------------------
+
+    def forward(self, from_ap: "AccessPoint", source: MacAddress,
+                destination: MacAddress, payload: bytes,
+                meta: Optional[Dict[str, Any]] = None) -> None:
+        """Carry a frame across the backbone.
+
+        Destinations associated anywhere in the ESS are delivered to
+        their current AP (which queues a wireless from-DS transmission);
+        broadcast goes to every other AP and the portal; anything else
+        goes to the portal, or is counted as undeliverable.
+        """
+        self.counters.incr("forwarded")
+        protected = bool(meta.get("protected")) if meta else False
+        if destination.is_broadcast or destination.is_multicast:
+            for ap in self._aps:
+                if ap is not from_ap:
+                    self.sim.schedule(self.latency, ap.deliver_from_ds,
+                                      source, destination, payload,
+                                      protected)
+            if self._portal is not None:
+                self.sim.schedule(self.latency, self._portal, source,
+                                  destination, payload)
+            return
+        target_ap = self._locations.get(destination)
+        if target_ap is not None:
+            self.sim.schedule(self.latency, target_ap.deliver_from_ds,
+                              source, destination, payload, protected)
+        elif self._portal is not None:
+            self.sim.schedule(self.latency, self._portal, source,
+                              destination, payload)
+        else:
+            self.counters.incr("undeliverable")
+
+    def inject_from_portal(self, source: MacAddress, destination: MacAddress,
+                           payload: bytes) -> None:
+        """Wired-side traffic entering the ESS through the portal."""
+        target_ap = self._locations.get(destination)
+        if target_ap is None:
+            self.counters.incr("undeliverable")
+            return
+        self.counters.incr("portal_in")
+        self.sim.schedule(self.latency, target_ap.deliver_from_ds,
+                          source, destination, payload)

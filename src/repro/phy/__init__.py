@@ -1,0 +1,69 @@
+"""Physical layer: propagation, modulation, standards, medium, radios."""
+
+from .channel import Medium, Transmission
+from .error_models import (
+    BerErrorModel,
+    ErrorModel,
+    FixedPerErrorModel,
+    SnrThresholdErrorModel,
+)
+from .interference import CaptureModel, SinrTracker
+from .modulation import Modulation, q_function
+from .propagation import (
+    FixedLoss,
+    FreeSpace,
+    LogDistance,
+    PropagationModel,
+    RangePropagation,
+    Shadowing,
+    TwoRayGround,
+    max_range_for_budget,
+)
+from .standards import (
+    DOT11A,
+    DOT11AC,
+    DOT11B,
+    DOT11G,
+    DOT11N,
+    DOT11_LEGACY,
+    PhyMode,
+    PhyStandard,
+    STANDARDS,
+    get_standard,
+)
+from .transceiver import PhyListener, Radio, RadioConfig, RadioState
+
+__all__ = [
+    "BerErrorModel",
+    "CaptureModel",
+    "DOT11A",
+    "DOT11AC",
+    "DOT11B",
+    "DOT11G",
+    "DOT11N",
+    "DOT11_LEGACY",
+    "ErrorModel",
+    "FixedLoss",
+    "FixedPerErrorModel",
+    "FreeSpace",
+    "LogDistance",
+    "Medium",
+    "Modulation",
+    "PhyListener",
+    "PhyMode",
+    "PhyStandard",
+    "PropagationModel",
+    "q_function",
+    "Radio",
+    "RadioConfig",
+    "RadioState",
+    "RangePropagation",
+    "STANDARDS",
+    "Shadowing",
+    "SinrTracker",
+    "SnrThresholdErrorModel",
+    "Transmission",
+    "TwoRayGround",
+    "get_standard",
+    "max_range_for_budget",
+]

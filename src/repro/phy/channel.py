@@ -1,0 +1,142 @@
+"""The shared wireless medium.
+
+:class:`Medium` connects radios through a propagation model.  When a
+radio transmits, the medium computes the receive power at every other
+attached radio on the same channel and delivers the energy after the
+speed-of-light propagation delay.  Radios below the reception floor
+still receive the energy for CCA/interference purposes — a frame you
+cannot decode can still deafen you.
+
+The medium is deliberately policy-free: locking, capture, SINR, and
+error decisions all live in :class:`~repro.phy.transceiver.Radio`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional
+
+from ..core.engine import Simulator
+from ..core.errors import ConfigurationError
+from ..core.units import SPEED_OF_LIGHT, dbm_to_watts, watts_to_dbm
+from .propagation import PropagationModel
+from .standards import PhyMode
+from .transceiver import Radio
+
+
+class Transmission:
+    """One frame in flight on the medium."""
+
+    _ids = itertools.count(1)
+
+    __slots__ = ("id", "sender", "payload", "size_bits", "mode",
+                 "power_watts", "start_time", "duration")
+
+    def __init__(self, sender: Radio, payload: Any, size_bits: int,
+                 mode: PhyMode, power_watts: float, start_time: float,
+                 duration: float):
+        self.id = next(Transmission._ids)
+        self.sender = sender
+        self.payload = payload
+        self.size_bits = size_bits
+        self.mode = mode
+        self.power_watts = power_watts
+        self.start_time = start_time
+        self.duration = duration
+
+    @property
+    def end_time(self) -> float:
+        return self.start_time + self.duration
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Transmission #{self.id} from {self.sender.name} "
+                f"{self.size_bits}b @{self.mode.name}>")
+
+
+class Medium:
+    """A broadcast radio medium with per-channel isolation.
+
+    Parameters
+    ----------
+    sim:
+        The simulation kernel.
+    propagation:
+        Path-loss model applied between every transmitter/receiver pair.
+    reception_floor_dbm:
+        Arrivals weaker than this are dropped entirely (not even counted
+        as interference).  Keeps the event count linear in *audible*
+        neighbours rather than all nodes.  Default -110 dBm is well below
+        any CCA threshold.
+    propagation_delay:
+        Whether to model the speed-of-light delay (on by default; a few
+        hundred nanoseconds at WLAN scale, microseconds at WiMAX scale).
+    """
+
+    def __init__(self, sim: Simulator, propagation: PropagationModel,
+                 reception_floor_dbm: float = -110.0,
+                 propagation_delay: bool = True):
+        self.sim = sim
+        self.propagation = propagation
+        self.reception_floor_watts = dbm_to_watts(reception_floor_dbm)
+        self.propagation_delay = propagation_delay
+        self._radios: List[Radio] = []
+        self._active: Dict[int, List[Transmission]] = {}
+
+    def attach(self, radio: Radio) -> None:
+        """Register a radio (called from the Radio constructor)."""
+        if radio in self._radios:
+            raise ConfigurationError(f"radio {radio.name} attached twice")
+        self._radios.append(radio)
+
+    def radios_on_channel(self, channel_id: int) -> List[Radio]:
+        return [radio for radio in self._radios
+                if radio.channel_id == channel_id]
+
+    def active_transmissions(self, channel_id: int) -> List[Transmission]:
+        """Transmissions currently on the air on a channel."""
+        now = self.sim.now
+        active = self._active.get(channel_id, [])
+        alive = [tx for tx in active if tx.end_time > now]
+        self._active[channel_id] = alive
+        return list(alive)
+
+    # --- transmission fan-out ------------------------------------------------
+
+    def transmit(self, sender: Radio, payload: Any, size_bits: int,
+                 mode: PhyMode, duration: float, power_watts: float
+                 ) -> Transmission:
+        """Fan a frame out to every audible co-channel radio."""
+        transmission = Transmission(sender, payload, size_bits, mode,
+                                    power_watts, self.sim.now, duration)
+        self._active.setdefault(sender.channel_id, []).append(transmission)
+        self.active_transmissions(sender.channel_id)  # opportunistic GC
+        for receiver in self._radios:
+            if receiver is sender:
+                continue
+            if receiver.channel_id != sender.channel_id:
+                continue
+            rx_power = self.propagation.received_power_watts(
+                power_watts, sender.position, receiver.position)
+            if rx_power < self.reception_floor_watts:
+                continue
+            delay = 0.0
+            if self.propagation_delay:
+                distance = sender.position.distance_to(receiver.position)
+                delay = distance / SPEED_OF_LIGHT
+            self.sim.schedule(delay, receiver.arrival_begins,
+                              transmission, rx_power)
+            self.sim.schedule(delay + duration, receiver.arrival_ends,
+                              transmission)
+        return transmission
+
+    # --- link budget introspection (used by scanning / benchmarks) ----------
+
+    def link_rx_power_dbm(self, sender: Radio, receiver: Radio) -> float:
+        """Receive power the receiver would see from the sender, in dBm."""
+        rx_watts = self.propagation.received_power_watts(
+            sender.tx_power_watts, sender.position, receiver.position)
+        return watts_to_dbm(rx_watts)
+
+    def link_snr_db(self, sender: Radio, receiver: Radio) -> float:
+        """Noise-limited SNR of the sender->receiver link."""
+        return receiver.snr_from_dbm(self.link_rx_power_dbm(sender, receiver))

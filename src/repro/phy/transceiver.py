@@ -1,0 +1,299 @@
+"""The radio transceiver: TX/RX state machine, carrier sensing, capture.
+
+A :class:`Radio` sits between the shared :class:`~repro.phy.channel.Medium`
+and a MAC.  Its responsibilities:
+
+* transmit frames handed down by the MAC (one at a time — half duplex),
+* track every transmission currently incident on the antenna, lock onto
+  at most one (reception), and integrate the rest as interference,
+* run clear-channel assessment (CCA) and tell the MAC the instant the
+  medium turns busy or idle — the DCF backoff freezes on these edges,
+* decide frame delivery with the error model on the integrated SINR.
+
+The MAC registers a :class:`PhyListener`; all upcalls go through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Dict, Optional, Set, TYPE_CHECKING
+
+from ..core.errors import SimulationError
+from ..core.topology import Position
+from ..core.units import dbm_to_watts, linear_to_db, watts_to_dbm
+from .error_models import BerErrorModel, ErrorModel
+from .interference import CaptureModel, SinrTracker
+from .standards import PhyMode, PhyStandard
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from .channel import Medium, Transmission
+
+
+class RadioState(Enum):
+    IDLE = "idle"
+    RX = "rx"
+    TX = "tx"
+    SLEEP = "sleep"
+
+
+class PhyListener:
+    """Upcall interface the MAC implements.  Default methods are no-ops
+    so simple listeners only override what they need."""
+
+    def phy_rx_end(self, payload: Any, success: bool, snr_db: float,
+                   mode: PhyMode) -> None:
+        """A locked reception finished; ``success`` reflects the error model."""
+
+    def phy_tx_end(self) -> None:
+        """Our own transmission left the antenna completely."""
+
+    def phy_cca_busy(self) -> None:
+        """Medium transitioned idle -> busy."""
+
+    def phy_cca_idle(self) -> None:
+        """Medium transitioned busy -> idle."""
+
+
+class _Reception:
+    """Book-keeping for the transmission the radio is locked onto."""
+
+    __slots__ = ("transmission", "power_watts", "tracker", "end_handle")
+
+    def __init__(self, transmission: "Transmission", power_watts: float,
+                 tracker: SinrTracker, end_handle: Any):
+        self.transmission = transmission
+        self.power_watts = power_watts
+        self.tracker = tracker
+        self.end_handle = end_handle
+
+
+@dataclass
+class RadioConfig:
+    """Tunable radio parameters (defaults follow common 802.11 practice)."""
+
+    tx_power_dbm: Optional[float] = None  # None -> standard default
+    #: Energy-detection CCA threshold.
+    cca_threshold_dbm: float = -82.0
+    #: SNR needed to detect/lock a preamble.
+    preamble_detection_snr_db: float = 0.0
+    capture: CaptureModel = CaptureModel()
+
+
+class Radio:
+    """Half-duplex radio bound to one medium, one standard, one channel."""
+
+    def __init__(self, name: str, medium: "Medium", standard: PhyStandard,
+                 position: Position, channel_id: int = 1,
+                 config: Optional[RadioConfig] = None,
+                 error_model: Optional[ErrorModel] = None):
+        self.name = name
+        self.medium = medium
+        self.standard = standard
+        self.position = position
+        self.channel_id = channel_id
+        self.config = config if config is not None else RadioConfig()
+        self.error_model = error_model if error_model is not None else BerErrorModel()
+        self.listener: PhyListener = PhyListener()
+        #: Optional hook fired with the new state name on every radio
+        #: state transition (used by the energy meter).
+        self.on_state_change = None
+        self._state = RadioState.IDLE
+        tx_dbm = (self.config.tx_power_dbm
+                  if self.config.tx_power_dbm is not None
+                  else standard.default_tx_power_dbm)
+        self.tx_power_watts = dbm_to_watts(tx_dbm)
+        self.noise_watts = standard.noise_floor_watts
+        #: Mode names this radio can decode; starts as the standard's own
+        #: ladder and may be extended (e.g. a "mixed-mode" 802.11g radio
+        #: also decodes 802.11b DSSS/CCK frames).
+        self.decodable_modes: Set[str] = {mode.name for mode in standard.modes}
+        # Arrivals currently incident on the antenna: transmission -> rx power.
+        self._arrivals: Dict["Transmission", float] = {}
+        self._locked: Optional[_Reception] = None
+        self._cca_busy = False
+        self._rng = medium.sim.rng.stream(f"radio.{name}")
+        medium.attach(self)
+
+    # --- helpers ----------------------------------------------------------
+
+    @property
+    def state(self) -> RadioState:
+        return self._state
+
+    @state.setter
+    def state(self, value: RadioState) -> None:
+        if value is self._state:
+            return
+        self._state = value
+        if self.on_state_change is not None:
+            self.on_state_change(value.value)
+
+    @property
+    def sim(self):
+        return self.medium.sim
+
+    def allow_decoding(self, standard: PhyStandard) -> None:
+        """Additionally decode another standard's modes (b/g coexistence)."""
+        self.decodable_modes.update(mode.name for mode in standard.modes)
+
+    def total_incident_power_watts(self) -> float:
+        return sum(self._arrivals.values())
+
+    # --- transmit path ------------------------------------------------------
+
+    def transmit(self, payload: Any, size_bits: int, mode: PhyMode) -> float:
+        """Send a frame; returns its airtime.  MAC must be idle/decided."""
+        if self.state == RadioState.TX:
+            raise SimulationError(f"{self.name}: transmit while already in TX")
+        if self.state == RadioState.SLEEP:
+            raise SimulationError(f"{self.name}: transmit while asleep")
+        if mode.name not in {m.name for m in self.standard.modes}:
+            raise SimulationError(
+                f"{self.name}: mode {mode.name} not in {self.standard.name}")
+        # Transmitting aborts any in-progress reception (half duplex).
+        if self._locked is not None:
+            self._abort_locked()
+        self.state = RadioState.TX
+        self._update_cca()
+        duration = self.standard.frame_airtime(size_bits, mode)
+        self.medium.transmit(self, payload, size_bits, mode, duration,
+                             self.tx_power_watts)
+        self.sim.schedule(duration, self._tx_complete)
+        self.sim.trace.record(self.sim.now, self.name, "phy-tx-start",
+                              bits=size_bits, mode=mode.name)
+        return duration
+
+    def _tx_complete(self) -> None:
+        self.state = RadioState.IDLE
+        self._update_cca()
+        self.listener.phy_tx_end()
+
+    # --- sleep ------------------------------------------------------------
+
+    def sleep(self) -> None:
+        """Power down: no reception, no carrier sense."""
+        if self.state == RadioState.TX:
+            raise SimulationError(f"{self.name}: cannot sleep mid-transmission")
+        if self._locked is not None:
+            self._abort_locked()
+        self.state = RadioState.SLEEP
+
+    def wake(self) -> None:
+        if self.state == RadioState.SLEEP:
+            self.state = RadioState.IDLE
+            self._update_cca()
+
+    # --- receive path (called by the Medium) --------------------------------
+
+    def arrival_begins(self, transmission: "Transmission",
+                       power_watts: float) -> None:
+        """A transmission's energy starts arriving at our antenna."""
+        self._arrivals[transmission] = power_watts
+        if self.state == RadioState.SLEEP:
+            return
+        now = self.sim.now
+        if self._locked is not None:
+            if self.config.capture.should_capture(self._locked.power_watts,
+                                                  power_watts):
+                self._abort_locked()
+                self._try_lock(transmission, power_watts)
+            else:
+                self._refresh_interference()
+        elif self.state == RadioState.IDLE:
+            self._try_lock(transmission, power_watts)
+        self._update_cca()
+
+    def arrival_ends(self, transmission: "Transmission") -> None:
+        """A transmission's energy stops arriving (its airtime elapsed)."""
+        self._arrivals.pop(transmission, None)
+        if self._locked is not None and \
+                self._locked.transmission is not transmission:
+            self._refresh_interference()
+        self._update_cca()
+
+    def _try_lock(self, transmission: "Transmission",
+                  power_watts: float) -> None:
+        snr_db = linear_to_db(power_watts / self.noise_watts) \
+            if self.noise_watts > 0 else float("inf")
+        if snr_db < self.config.preamble_detection_snr_db:
+            return  # too weak to even see a preamble: pure noise
+        if transmission.mode.name not in self.decodable_modes:
+            return  # foreign PHY: energy only
+        now = self.sim.now
+        tracker = SinrTracker(power_watts, self.noise_watts, now)
+        interference = self.total_incident_power_watts() - power_watts
+        tracker.set_interference(now, interference)
+        # _try_lock only ever runs at the instant the energy starts
+        # arriving, so the frame's tail lands exactly one airtime later
+        # (the propagation delay shifted the whole frame, not its length).
+        end_handle = self.sim.schedule(transmission.duration,
+                                       self._reception_complete,
+                                       transmission)
+        self._locked = _Reception(transmission, power_watts, tracker, end_handle)
+        self.state = RadioState.RX
+
+    def _refresh_interference(self) -> None:
+        if self._locked is None:
+            return
+        interference = (self.total_incident_power_watts()
+                        - self._locked.power_watts)
+        # The locked signal may have already left the arrival table if it
+        # ended; guard against a small negative residue.
+        self._locked.tracker.set_interference(self.sim.now,
+                                              max(interference, 0.0))
+
+    def _abort_locked(self) -> None:
+        assert self._locked is not None
+        self._locked.end_handle.cancel()
+        self._locked = None
+        if self.state == RadioState.RX:
+            self.state = RadioState.IDLE
+
+    def _reception_complete(self, transmission: "Transmission") -> None:
+        reception = self._locked
+        if reception is None or reception.transmission is not transmission:
+            return  # lock was stolen or aborted meanwhile
+        self._locked = None
+        self.state = RadioState.IDLE
+        snr_db = reception.tracker.sinr_db(self.sim.now)
+        success = self.error_model.frame_survives(
+            snr_db, transmission.size_bits, transmission.mode.modulation,
+            self._rng)
+        self.sim.trace.record(self.sim.now, self.name, "phy-rx-end",
+                              ok=success, snr=round(snr_db, 1),
+                              mode=transmission.mode.name)
+        self._update_cca()
+        self.listener.phy_rx_end(transmission.payload, success, snr_db,
+                                 transmission.mode)
+
+    # --- CCA ---------------------------------------------------------------
+
+    def cca_busy(self) -> bool:
+        """Clear-channel assessment: is the medium busy right now?"""
+        if self.state in (RadioState.TX, RadioState.RX):
+            return True
+        if self.state == RadioState.SLEEP:
+            return False
+        threshold_watts = dbm_to_watts(self.config.cca_threshold_dbm)
+        return self.total_incident_power_watts() >= threshold_watts
+
+    def _update_cca(self) -> None:
+        busy = self.cca_busy()
+        if busy == self._cca_busy:
+            return
+        self._cca_busy = busy
+        if busy:
+            self.listener.phy_cca_busy()
+        else:
+            self.listener.phy_cca_idle()
+
+    # --- introspection -------------------------------------------------------
+
+    def snr_from_dbm(self, rx_power_dbm: float) -> float:
+        """SNR this radio would see for a given receive power."""
+        return rx_power_dbm - watts_to_dbm(self.noise_watts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Radio {self.name} {self.standard.name} ch={self.channel_id} "
+                f"state={self.state.value}>")

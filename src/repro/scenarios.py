@@ -1,0 +1,185 @@
+"""One-call scenario builders used by the examples and benchmarks.
+
+Each builder wires a complete, ready-to-run topology — medium, devices,
+association — so experiment code reads as *what* is measured rather
+than *how* the network is assembled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .core.engine import Simulator
+from .core.errors import SimulationError
+from .core.topology import Position, circle_layout
+from .mac.dcf import DcfConfig
+from .mac.rate_adapt import RateControllerFactory
+from .net.ap import AccessPoint
+from .net.bss import ExtendedServiceSet, IndependentBss
+from .net.ds import DistributionSystem
+from .net.station import Station
+from .phy.channel import Medium
+from .phy.propagation import LogDistance, PropagationModel, RangePropagation
+from .phy.standards import DOT11B, DOT11G, PhyStandard
+
+
+@dataclass
+class InfrastructureBss:
+    """An AP plus associated stations, ready for traffic."""
+
+    sim: Simulator
+    medium: Medium
+    ap: AccessPoint
+    stations: List[Station]
+
+    def run_until_associated(self, timeout: float = 10.0) -> None:
+        associate_all(self.sim, self.stations, timeout=timeout)
+
+
+def associate_all(sim: Simulator, stations: List[Station],
+                  timeout: float = 10.0) -> None:
+    """Run the simulation until every station has associated."""
+    deadline = sim.now + timeout
+    step = 0.2
+    while sim.now < deadline:
+        if all(station.associated for station in stations):
+            return
+        sim.run(until=min(sim.now + step, deadline))
+    missing = [station.name for station in stations
+               if not station.associated]
+    if missing:
+        raise SimulationError(
+            f"stations failed to associate within {timeout}s: {missing}")
+
+
+def build_infrastructure_bss(sim: Simulator, station_count: int,
+                             standard: PhyStandard = DOT11G,
+                             radius_m: float = 20.0,
+                             ssid: str = "repro-net",
+                             path_loss_exponent: float = 3.0,
+                             mac_config: Optional[DcfConfig] = None,
+                             rate_factory: Optional[RateControllerFactory] = None,
+                             associate: bool = True,
+                             ) -> InfrastructureBss:
+    """An AP at the origin with ``station_count`` stations on a circle."""
+    medium = Medium(sim, LogDistance(standard.band_hz,
+                                     exponent=path_loss_exponent))
+    ap = AccessPoint(sim, medium, standard, Position(0, 0, 0),
+                     name="ap", ssid=ssid, mac_config=mac_config,
+                     rate_factory=rate_factory)
+    ap.start_beaconing()
+    stations = []
+    for index, position in enumerate(circle_layout(station_count, radius_m)):
+        station = Station(sim, medium, standard, position,
+                          name=f"sta{index}", mac_config=mac_config,
+                          rate_factory=rate_factory)
+        station.associate(ssid)
+        stations.append(station)
+    scenario = InfrastructureBss(sim, medium, ap, stations)
+    if associate and station_count > 0:
+        scenario.run_until_associated()
+    return scenario
+
+
+@dataclass
+class AdhocNetwork:
+    """An IBSS of peer stations."""
+
+    sim: Simulator
+    medium: Medium
+    ibss: IndependentBss
+    stations: List[Station]
+
+
+def build_adhoc_network(sim: Simulator, station_count: int,
+                        standard: PhyStandard = DOT11B,
+                        radius_m: float = 15.0,
+                        path_loss_exponent: float = 3.0,
+                        mac_config: Optional[DcfConfig] = None,
+                        ) -> AdhocNetwork:
+    """Peer stations on a circle sharing one IBSS."""
+    medium = Medium(sim, LogDistance(standard.band_hz,
+                                     exponent=path_loss_exponent))
+    ibss = IndependentBss.start(sim)
+    stations = []
+    for index, position in enumerate(circle_layout(station_count, radius_m)):
+        station = Station(sim, medium, standard, position,
+                          name=f"peer{index}", adhoc=True,
+                          ibss_bssid=ibss.bssid, mac_config=mac_config)
+        ibss.join(station)
+        stations.append(station)
+    return AdhocNetwork(sim, medium, ibss, stations)
+
+
+@dataclass
+class HiddenTerminalScenario:
+    """Two senders that cannot hear each other, one receiver that hears
+    both — the canonical RTS/CTS motivation."""
+
+    sim: Simulator
+    medium: Medium
+    receiver: Station
+    sender_a: Station
+    sender_b: Station
+
+    @property
+    def stations(self) -> List[Station]:
+        return [self.receiver, self.sender_a, self.sender_b]
+
+
+def build_hidden_terminal(sim: Simulator,
+                          standard: PhyStandard = DOT11B,
+                          carrier_range_m: float = 250.0,
+                          mac_config: Optional[DcfConfig] = None,
+                          rate_factory: Optional[RateControllerFactory] = None,
+                          ) -> HiddenTerminalScenario:
+    """Senders at ±0.8R around a middle receiver: each sender hears the
+    receiver but not the other sender (disc propagation makes the hidden
+    relationship exact)."""
+    medium = Medium(sim, RangePropagation(carrier_range_m,
+                                          in_range_loss_db=60.0))
+    separation = 0.8 * carrier_range_m
+    ibss = IndependentBss.start(sim)
+    receiver = Station(sim, medium, standard, Position(0, 0, 0),
+                       name="rx", adhoc=True, ibss_bssid=ibss.bssid,
+                       mac_config=mac_config, rate_factory=rate_factory)
+    sender_a = Station(sim, medium, standard, Position(-separation, 0, 0),
+                       name="txA", adhoc=True, ibss_bssid=ibss.bssid,
+                       mac_config=mac_config, rate_factory=rate_factory)
+    sender_b = Station(sim, medium, standard, Position(separation, 0, 0),
+                       name="txB", adhoc=True, ibss_bssid=ibss.bssid,
+                       mac_config=mac_config, rate_factory=rate_factory)
+    for station in (receiver, sender_a, sender_b):
+        ibss.join(station)
+    return HiddenTerminalScenario(sim, medium, receiver, sender_a, sender_b)
+
+
+@dataclass
+class EssScenario:
+    """Several APs in a line sharing one SSID over a wired DS."""
+
+    sim: Simulator
+    medium: Medium
+    ess: ExtendedServiceSet
+    aps: List[AccessPoint]
+
+
+def build_ess(sim: Simulator, ap_count: int, spacing_m: float = 60.0,
+              standard: PhyStandard = DOT11G, ssid: str = "repro-ess",
+              path_loss_exponent: float = 3.2) -> EssScenario:
+    """A corridor of APs: AP k at x = k * spacing."""
+    medium = Medium(sim, LogDistance(standard.band_hz,
+                                     exponent=path_loss_exponent))
+    ds = DistributionSystem(sim)
+    ess = ExtendedServiceSet(sim, ssid, ds=ds)
+    aps = []
+    for index in range(ap_count):
+        ap = AccessPoint(sim, medium, standard,
+                         Position(index * spacing_m, 0, 0),
+                         name=f"ap{index}", ssid=ssid, ds=ds)
+        ess.add_ap(ap)
+        # Stagger beacons so same-channel APs don't beacon in lockstep.
+        ap.start_beaconing(offset=0.010 * (index + 1))
+        aps.append(ap)
+    return EssScenario(sim, medium, ess, aps)

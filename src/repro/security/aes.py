@@ -1,0 +1,180 @@
+"""AES-128 block cipher, from scratch.
+
+WPA2/CCMP mandates AES (source text §5.2); this is a clear, table-driven
+implementation of the forward cipher (and the inverse, for
+completeness) sufficient for CCM mode — CCM only ever uses the forward
+direction, for both CTR encryption and CBC-MAC authentication.
+
+This implementation favours readability over speed and is **not**
+constant-time; it is a protocol-simulation artifact, not production
+cryptography.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.errors import SecurityError
+
+BLOCK_SIZE = 16
+
+# --- S-box generation (from GF(2^8) inversion + affine transform) -----------
+
+
+def _xtime(a: int) -> int:
+    a <<= 1
+    if a & 0x100:
+        a ^= 0x11B
+    return a & 0xFF
+
+
+def _gf_mul(a: int, b: int) -> int:
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+def _gf_inverse(a: int) -> int:
+    if a == 0:
+        return 0
+    # a^(254) in GF(2^8) is the multiplicative inverse.
+    result = 1
+    power = a
+    exponent = 254
+    while exponent:
+        if exponent & 1:
+            result = _gf_mul(result, power)
+        power = _gf_mul(power, power)
+        exponent >>= 1
+    return result
+
+
+def _build_sbox() -> List[int]:
+    sbox = []
+    for value in range(256):
+        inv = _gf_inverse(value)
+        transformed = inv
+        for shift in (1, 2, 3, 4):
+            transformed ^= ((inv << shift) | (inv >> (8 - shift))) & 0xFF
+        sbox.append(transformed ^ 0x63)
+    return sbox
+
+
+SBOX = _build_sbox()
+INV_SBOX = [0] * 256
+for _index, _value in enumerate(SBOX):
+    INV_SBOX[_value] = _index
+
+_RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36]
+
+
+def expand_key(key: bytes) -> List[List[int]]:
+    """AES-128 key expansion into 11 round keys (each 16 bytes)."""
+    if len(key) != 16:
+        raise SecurityError(f"AES-128 needs a 16-byte key, got {len(key)}")
+    words = [list(key[i:i + 4]) for i in range(0, 16, 4)]
+    for index in range(4, 44):
+        word = list(words[index - 1])
+        if index % 4 == 0:
+            word = word[1:] + word[:1]                      # RotWord
+            word = [SBOX[byte] for byte in word]            # SubWord
+            word[0] ^= _RCON[index // 4 - 1]
+        words.append([a ^ b for a, b in zip(word, words[index - 4])])
+    return [sum(words[4 * round_index:4 * round_index + 4], [])
+            for round_index in range(11)]
+
+
+def _add_round_key(state: List[int], round_key: List[int]) -> None:
+    for index in range(16):
+        state[index] ^= round_key[index]
+
+
+def _sub_bytes(state: List[int]) -> None:
+    for index in range(16):
+        state[index] = SBOX[state[index]]
+
+
+def _inv_sub_bytes(state: List[int]) -> None:
+    for index in range(16):
+        state[index] = INV_SBOX[state[index]]
+
+
+# State layout: column-major, state[4*col + row].
+
+def _shift_rows(state: List[int]) -> None:
+    for row in range(1, 4):
+        column_values = [state[4 * col + row] for col in range(4)]
+        shifted = column_values[row:] + column_values[:row]
+        for col in range(4):
+            state[4 * col + row] = shifted[col]
+
+
+def _inv_shift_rows(state: List[int]) -> None:
+    for row in range(1, 4):
+        column_values = [state[4 * col + row] for col in range(4)]
+        shifted = column_values[-row:] + column_values[:-row]
+        for col in range(4):
+            state[4 * col + row] = shifted[col]
+
+
+def _mix_columns(state: List[int]) -> None:
+    for col in range(4):
+        a = state[4 * col:4 * col + 4]
+        state[4 * col + 0] = _gf_mul(a[0], 2) ^ _gf_mul(a[1], 3) ^ a[2] ^ a[3]
+        state[4 * col + 1] = a[0] ^ _gf_mul(a[1], 2) ^ _gf_mul(a[2], 3) ^ a[3]
+        state[4 * col + 2] = a[0] ^ a[1] ^ _gf_mul(a[2], 2) ^ _gf_mul(a[3], 3)
+        state[4 * col + 3] = _gf_mul(a[0], 3) ^ a[1] ^ a[2] ^ _gf_mul(a[3], 2)
+
+
+def _inv_mix_columns(state: List[int]) -> None:
+    for col in range(4):
+        a = state[4 * col:4 * col + 4]
+        state[4 * col + 0] = (_gf_mul(a[0], 14) ^ _gf_mul(a[1], 11)
+                              ^ _gf_mul(a[2], 13) ^ _gf_mul(a[3], 9))
+        state[4 * col + 1] = (_gf_mul(a[0], 9) ^ _gf_mul(a[1], 14)
+                              ^ _gf_mul(a[2], 11) ^ _gf_mul(a[3], 13))
+        state[4 * col + 2] = (_gf_mul(a[0], 13) ^ _gf_mul(a[1], 9)
+                              ^ _gf_mul(a[2], 14) ^ _gf_mul(a[3], 11))
+        state[4 * col + 3] = (_gf_mul(a[0], 11) ^ _gf_mul(a[1], 13)
+                              ^ _gf_mul(a[2], 9) ^ _gf_mul(a[3], 14))
+
+
+class Aes128:
+    """AES-128 with a pre-expanded key schedule."""
+
+    def __init__(self, key: bytes):
+        self._round_keys = expand_key(key)
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        if len(block) != BLOCK_SIZE:
+            raise SecurityError(f"block must be 16 bytes, got {len(block)}")
+        state = list(block)
+        _add_round_key(state, self._round_keys[0])
+        for round_index in range(1, 10):
+            _sub_bytes(state)
+            _shift_rows(state)
+            _mix_columns(state)
+            _add_round_key(state, self._round_keys[round_index])
+        _sub_bytes(state)
+        _shift_rows(state)
+        _add_round_key(state, self._round_keys[10])
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        if len(block) != BLOCK_SIZE:
+            raise SecurityError(f"block must be 16 bytes, got {len(block)}")
+        state = list(block)
+        _add_round_key(state, self._round_keys[10])
+        for round_index in range(9, 0, -1):
+            _inv_shift_rows(state)
+            _inv_sub_bytes(state)
+            _add_round_key(state, self._round_keys[round_index])
+            _inv_mix_columns(state)
+        _inv_shift_rows(state)
+        _inv_sub_bytes(state)
+        _add_round_key(state, self._round_keys[0])
+        return bytes(state)

@@ -1,0 +1,94 @@
+"""The Michael message integrity code (WPA/TKIP).
+
+Michael is the lightweight keyed MIC the Wi-Fi Alliance shipped with
+WPA because it had to run on existing WEP hardware (source text §5.2:
+"message integrity checks ... TKIP").  This is the real algorithm —
+two 32-bit words, the b() block function of rotates, XSWAPs and adds —
+not a stand-in, because its known weakness (roughly 2^29 security,
+hence the countermeasures) is part of experiment E9.
+
+Countermeasure rule (from 802.11i): on two MIC failures within 60
+seconds, the receiver must disable TKIP reception for 60 seconds;
+:class:`MichaelCountermeasures` tracks that state.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.errors import SecurityError
+
+MIC_LEN = 8
+_M32 = 0xFFFFFFFF
+
+
+def _rol32(value: int, bits: int) -> int:
+    return ((value << bits) | (value >> (32 - bits))) & _M32
+
+
+def _ror32(value: int, bits: int) -> int:
+    return ((value >> bits) | (value << (32 - bits))) & _M32
+
+
+def _xswap(value: int) -> int:
+    """Swap the bytes within each 16-bit half."""
+    return (((value & 0x00FF00FF) << 8) | ((value & 0xFF00FF00) >> 8)) & _M32
+
+
+def _block(left: int, right: int) -> tuple:
+    right ^= _rol32(left, 17)
+    left = (left + right) & _M32
+    right ^= _xswap(left)
+    left = (left + right) & _M32
+    right ^= _rol32(left, 3)
+    left = (left + right) & _M32
+    right ^= _ror32(left, 2)
+    left = (left + right) & _M32
+    return left, right
+
+
+def michael(key: bytes, data: bytes) -> bytes:
+    """Compute the 8-byte Michael MIC of ``data`` under an 8-byte key."""
+    if len(key) != 8:
+        raise SecurityError(f"Michael key must be 8 bytes, got {len(key)}")
+    left = int.from_bytes(key[0:4], "little")
+    right = int.from_bytes(key[4:8], "little")
+    # Pad: 0x5a then zeros to a multiple of 4 (always at least 4 bytes).
+    padded = data + b"\x5a" + bytes((4 - (len(data) + 1) % 4) % 4 + 4)
+    padded = padded[:len(padded) - (len(padded) % 4)]
+    for offset in range(0, len(padded), 4):
+        word = int.from_bytes(padded[offset:offset + 4], "little")
+        left ^= word
+        left, right = _block(left, right)
+    return left.to_bytes(4, "little") + right.to_bytes(4, "little")
+
+
+class MichaelCountermeasures:
+    """802.11i TKIP countermeasure state machine.
+
+    Two MIC failures within ``window`` seconds shut the link down for
+    ``blackout`` seconds.  This is what rate-limits active attacks on
+    Michael (and what the E9 effort model for WPA quantifies).
+    """
+
+    def __init__(self, window: float = 60.0, blackout: float = 60.0):
+        self.window = window
+        self.blackout = blackout
+        self._failures: List[float] = []
+        self._disabled_until: Optional[float] = None
+        self.invocations = 0
+
+    def mic_failure(self, now: float) -> bool:
+        """Record a failure; returns True if countermeasures triggered."""
+        self._failures = [t for t in self._failures
+                          if now - t <= self.window]
+        self._failures.append(now)
+        if len(self._failures) >= 2:
+            self._disabled_until = now + self.blackout
+            self._failures.clear()
+            self.invocations += 1
+            return True
+        return False
+
+    def usable(self, now: float) -> bool:
+        return self._disabled_until is None or now >= self._disabled_until

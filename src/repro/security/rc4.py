@@ -1,0 +1,57 @@
+"""RC4 stream cipher, from scratch.
+
+RC4 is the cipher underneath both WEP and TKIP (source text §5.2).  It
+is implemented here in full — key-scheduling algorithm (KSA) and
+pseudo-random generation algorithm (PRGA) — because the WEP key-recovery
+attack in :mod:`repro.security.wep` needs to run the *actual* KSA to
+exploit its weak-IV bias, not a stand-in.
+
+RC4 is cryptographically broken; it exists in this library as an object
+of study, not for protecting anything.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from ..core.errors import SecurityError
+
+
+def ksa(key: bytes) -> List[int]:
+    """Key-scheduling algorithm: produce the initial permutation."""
+    if not 1 <= len(key) <= 256:
+        raise SecurityError(f"RC4 key must be 1..256 bytes, got {len(key)}")
+    state = list(range(256))
+    j = 0
+    for i in range(256):
+        j = (j + state[i] + key[i % len(key)]) & 0xFF
+        state[i], state[j] = state[j], state[i]
+    return state
+
+
+def prga(state: List[int]) -> Iterator[int]:
+    """Pseudo-random generation algorithm: yield keystream bytes.
+
+    Mutates (a copy of) the permutation; call with ``ksa(key)`` output.
+    """
+    state = list(state)
+    i = j = 0
+    while True:
+        i = (i + 1) & 0xFF
+        j = (j + state[i]) & 0xFF
+        state[i], state[j] = state[j], state[i]
+        yield state[(state[i] + state[j]) & 0xFF]
+
+
+def keystream(key: bytes, length: int) -> bytes:
+    """First ``length`` keystream bytes for ``key``."""
+    if length < 0:
+        raise SecurityError(f"negative keystream length: {length}")
+    generator = prga(ksa(key))
+    return bytes(next(generator) for _ in range(length))
+
+
+def crypt(key: bytes, data: bytes) -> bytes:
+    """Encrypt or decrypt (RC4 is symmetric) ``data`` under ``key``."""
+    stream = keystream(key, len(data))
+    return bytes(a ^ b for a, b in zip(data, stream))

@@ -1,0 +1,138 @@
+"""WEP shared-key authentication — and why open-system won.
+
+The shared-key variant (source text §5.1: "demonstrating knowledge of
+a shared secret") is a four-frame exchange:
+
+1. station -> AP: request (algorithm=1, seq=1),
+2. AP -> station: a 128-byte random challenge, in the clear (seq=2),
+3. station -> AP: the challenge WEP-encrypted under the shared key
+   (seq=3),
+4. AP -> station: success/failure (seq=4).
+
+The famous flaw: an eavesdropper who captures one exchange has both the
+plaintext challenge and its ciphertext, so ``challenge XOR ciphertext``
+hands them ``keystream(iv)`` for the full challenge length.  WEP lets
+the *sender* pick the IV, so the attacker replays that IV with the
+recovered keystream to pass any future challenge — authenticating
+without ever learning the key.  :class:`KeystreamThief` implements the
+attack; the tests authenticate with it.  (This is why real deployments
+were told to prefer open-system authentication + encryption over
+shared-key: the handshake itself leaks keystream.)
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..core.errors import AuthenticationError, SecurityError
+from .wep import IV_LEN, WepCipher
+
+CHALLENGE_LEN = 128
+
+
+@dataclass(frozen=True)
+class CapturedExchange:
+    """What a sniffer keeps from one shared-key authentication."""
+
+    challenge: bytes
+    wep_body: bytes  # iv || key-id || ciphertext as sent on the air
+
+
+class SharedKeyAuthenticator:
+    """AP-side responder: issues challenges, verifies responses."""
+
+    def __init__(self, cipher: WepCipher, rng: Optional[random.Random] = None):
+        self.cipher = cipher
+        self._rng = rng if rng is not None else random.Random(0x5EED)
+        self._outstanding: Dict[bytes, bytes] = {}  # station key -> challenge
+        self.successes = 0
+        self.failures = 0
+
+    def issue_challenge(self, station_id: bytes) -> bytes:
+        challenge = bytes(self._rng.getrandbits(8)
+                          for _ in range(CHALLENGE_LEN))
+        self._outstanding[station_id] = challenge
+        return challenge
+
+    def verify_response(self, station_id: bytes, wep_body: bytes) -> bool:
+        challenge = self._outstanding.pop(station_id, None)
+        if challenge is None:
+            self.failures += 1
+            return False
+        try:
+            decrypted = self.cipher.decrypt(wep_body)
+        except SecurityError:
+            self.failures += 1
+            return False
+        if decrypted != challenge:
+            self.failures += 1
+            return False
+        self.successes += 1
+        return True
+
+
+class SharedKeyClient:
+    """Legitimate station side: encrypts the challenge under the key."""
+
+    def __init__(self, cipher: WepCipher):
+        self.cipher = cipher
+
+    def answer(self, challenge: bytes) -> bytes:
+        return self.cipher.encrypt(challenge)
+
+
+class KeystreamThief:
+    """The eavesdropper: one captured exchange = free authentication.
+
+    ``observe`` recovers keystream from a sniffed challenge/response
+    pair; ``answer`` uses it to pass a fresh challenge by replaying the
+    same IV.  No key material is ever known to the thief.
+    """
+
+    def __init__(self) -> None:
+        self._iv_header: Optional[bytes] = None
+        self._keystream: Optional[bytes] = None
+
+    @property
+    def armed(self) -> bool:
+        return self._keystream is not None
+
+    def observe(self, exchange: CapturedExchange) -> None:
+        header = exchange.wep_body[:IV_LEN + 1]  # iv + key-id byte
+        ciphertext = exchange.wep_body[IV_LEN + 1:]
+        # ciphertext = (challenge || icv) XOR keystream; the attacker
+        # knows the challenge AND can compute its CRC-32 ICV, so the
+        # whole keystream prefix falls out.
+        from ..mac.fcs import crc32
+        icv = crc32(exchange.challenge).to_bytes(4, "little")
+        plaintext = exchange.challenge + icv
+        if len(ciphertext) < len(plaintext):
+            raise SecurityError("captured response shorter than expected")
+        self._iv_header = header
+        self._keystream = bytes(c ^ p for c, p
+                                in zip(ciphertext, plaintext))
+
+    def answer(self, challenge: bytes) -> bytes:
+        """Forge a valid seq-3 response to any challenge."""
+        if self._keystream is None or self._iv_header is None:
+            raise AuthenticationError("no exchange captured yet")
+        from ..mac.fcs import crc32
+        icv = crc32(challenge).to_bytes(4, "little")
+        plaintext = challenge + icv
+        if len(plaintext) > len(self._keystream):
+            raise AuthenticationError("challenge longer than the stolen "
+                                      "keystream")
+        forged = bytes(p ^ k for p, k in zip(plaintext, self._keystream))
+        return self._iv_header + forged
+
+
+def run_legitimate_exchange(authenticator: SharedKeyAuthenticator,
+                            client: SharedKeyClient,
+                            station_id: bytes = b"sta") -> Tuple[bool, CapturedExchange]:
+    """Run one honest authentication, returning what a sniffer captures."""
+    challenge = authenticator.issue_challenge(station_id)
+    response = client.answer(challenge)
+    ok = authenticator.verify_response(station_id, response)
+    return ok, CapturedExchange(challenge=challenge, wep_body=response)

@@ -1,0 +1,257 @@
+"""WEP — Wired Equivalent Privacy — and the attacks that killed it.
+
+WEP encapsulation (source text §5.2, first security generation):
+
+* a 24-bit IV is prepended to the shared key; RC4(iv || key) produces
+  the keystream,
+* integrity is a plain CRC-32 ("ICV") over the plaintext, encrypted
+  along with it,
+* the IV travels in the clear in front of the ciphertext.
+
+Both design flaws the text alludes to are implemented as working
+attacks:
+
+* :func:`forge_bitflip` — CRC-32 is linear, so an attacker can flip
+  arbitrary plaintext bits in a captured frame and fix the ICV without
+  knowing the key ("An attacker could recalculate the ordinary FCS...").
+* :class:`FmsAttack` — the Fluhrer–Mantin–Shamir weak-IV key recovery:
+  IVs of the form (A+3, 255, X) leak key byte A through the first
+  keystream byte, which is always known in 802.11 because every data
+  frame starts with the 0xAA LLC/SNAP header byte.
+
+:class:`WeakIvTrafficOracle` simulates a busy WEP network emitting
+frames with an incrementing IV and hands the attacker exactly what a
+sniffer would get, while counting total frames — so the benchmark can
+report "frames observed until key recovery" without materializing
+millions of uninteresting frames.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.errors import IntegrityError, SecurityError
+from ..mac.fcs import crc32
+from .rc4 import crypt as rc4_crypt
+from .rc4 import ksa, prga
+
+#: The first plaintext byte of every 802.11 data frame body (LLC DSAP).
+SNAP_FIRST_BYTE = 0xAA
+
+IV_LEN = 3
+ICV_LEN = 4
+#: Per-frame overhead WEP adds: IV (3) + key-id (1) + ICV (4).
+WEP_OVERHEAD = IV_LEN + 1 + ICV_LEN
+
+WEP40_KEY_LEN = 5    # "64-bit WEP"  = 40-bit key + 24-bit IV
+WEP104_KEY_LEN = 13  # "128-bit WEP" = 104-bit key + 24-bit IV
+WEP232_KEY_LEN = 29  # "256-bit WEP" = 232-bit key + 24-bit IV
+
+
+def _icv(plaintext: bytes) -> bytes:
+    return crc32(plaintext).to_bytes(4, "little")
+
+
+class WepCipher:
+    """Seal/open WEP frame bodies under a static shared key."""
+
+    def __init__(self, key: bytes, key_id: int = 0):
+        if len(key) not in (WEP40_KEY_LEN, WEP104_KEY_LEN, WEP232_KEY_LEN):
+            raise SecurityError(
+                f"WEP key must be 5, 13 or 29 bytes, got {len(key)}")
+        if not 0 <= key_id <= 3:
+            raise SecurityError(f"key id must be 0..3, got {key_id}")
+        self.key = key
+        self.key_id = key_id
+        self._iv_counter = itertools.count()
+
+    def next_iv(self) -> bytes:
+        """Sequential IV generation, as most real implementations did."""
+        value = next(self._iv_counter) % (1 << 24)
+        return value.to_bytes(3, "big")
+
+    def encrypt(self, plaintext: bytes, iv: Optional[bytes] = None) -> bytes:
+        """Encapsulate: returns iv || key_id || RC4(plaintext || ICV)."""
+        if iv is None:
+            iv = self.next_iv()
+        if len(iv) != IV_LEN:
+            raise SecurityError(f"IV must be 3 bytes, got {len(iv)}")
+        keystream_key = iv + self.key
+        sealed = rc4_crypt(keystream_key, plaintext + _icv(plaintext))
+        return iv + bytes([self.key_id << 6]) + sealed
+
+    def decrypt(self, body: bytes) -> bytes:
+        """Decapsulate; raises :class:`IntegrityError` on a bad ICV."""
+        if len(body) < WEP_OVERHEAD:
+            raise SecurityError(f"WEP body too short: {len(body)}")
+        iv, ciphertext = body[:IV_LEN], body[IV_LEN + 1:]
+        opened = rc4_crypt(iv + self.key, ciphertext)
+        plaintext, icv = opened[:-ICV_LEN], opened[-ICV_LEN:]
+        if _icv(plaintext) != icv:
+            raise IntegrityError("WEP ICV check failed")
+        return plaintext
+
+
+# --- attack 1: CRC linearity bit-flip ----------------------------------------
+
+def forge_bitflip(wep_body: bytes, delta: bytes) -> bytes:
+    """Flip plaintext bits in a captured WEP frame without the key.
+
+    ``delta`` is XORed into the plaintext (must not extend past it).
+    Because CRC-32 is linear over GF(2),
+
+        icv(p ^ d) = icv(p) ^ icv(d) ^ icv(0)
+
+    so XORing ``d || (crc(d) ^ crc(0))`` into the ciphertext yields a
+    frame that still passes the ICV check when decrypted.
+    """
+    payload_len = len(wep_body) - WEP_OVERHEAD
+    if len(delta) > payload_len:
+        raise SecurityError("delta longer than the encrypted payload")
+    delta = delta + bytes(payload_len - len(delta))
+    icv_delta = crc32(delta) ^ crc32(bytes(payload_len))
+    patch = delta + icv_delta.to_bytes(4, "little")
+    header = wep_body[:IV_LEN + 1]
+    sealed = wep_body[IV_LEN + 1:]
+    forged = bytes(a ^ b for a, b in zip(sealed, patch))
+    return header + forged
+
+
+# --- attack 2: FMS weak-IV key recovery ---------------------------------------
+
+@dataclass(frozen=True)
+class WeakIvSample:
+    """One sniffed frame useful to FMS: its IV and first keystream byte."""
+
+    iv: bytes
+    first_keystream_byte: int
+
+
+def first_keystream_byte(wep_body: bytes) -> int:
+    """Recover keystream[0] from a sniffed frame (plaintext starts 0xAA)."""
+    first_cipher_byte = wep_body[IV_LEN + 1]
+    return first_cipher_byte ^ SNAP_FIRST_BYTE
+
+
+def is_weak_iv(iv: bytes, key_byte_index: int) -> bool:
+    """FMS-weak IV for key byte ``A``: (A+3, 255, X)."""
+    return iv[0] == key_byte_index + 3 and iv[1] == 0xFF
+
+
+class FmsAttack:
+    """Fluhrer–Mantin–Shamir key recovery from weak-IV samples.
+
+    Feed samples with :meth:`observe`; :meth:`recover_key` attempts the
+    byte-by-byte recovery, returning the key when every byte gathers
+    enough votes, else ``None``.
+    """
+
+    def __init__(self, key_len: int, min_votes: int = 60):
+        if key_len not in (WEP40_KEY_LEN, WEP104_KEY_LEN, WEP232_KEY_LEN):
+            raise SecurityError(f"unsupported key length {key_len}")
+        self.key_len = key_len
+        self.min_votes = min_votes
+        self._samples: Dict[int, List[WeakIvSample]] = {
+            index: [] for index in range(key_len)}
+
+    def observe(self, sample: WeakIvSample) -> bool:
+        """Store the sample if it is weak for some key byte."""
+        for index in range(self.key_len):
+            if is_weak_iv(sample.iv, index):
+                self._samples[index].append(sample)
+                return True
+        return False
+
+    def samples_for(self, index: int) -> int:
+        return len(self._samples[index])
+
+    def _vote(self, sample: WeakIvSample, known_prefix: bytes) -> Optional[int]:
+        """One FMS vote for key byte ``len(known_prefix)``, or None if the
+        KSA state is not 'resolved' for this sample."""
+        a = len(known_prefix)
+        steps = a + 3
+        key = sample.iv + known_prefix
+        state = list(range(256))
+        j = 0
+        for i in range(steps):
+            j = (j + state[i] + key[i % len(key)]) & 0xFF
+            state[i], state[j] = state[j], state[i]
+        # Resolved condition: the first output depends on S[1]+S[S[1]].
+        if state[1] >= steps or (state[1] + state[state[1]]) & 0xFF != steps:
+            return None
+        out = sample.first_keystream_byte
+        inverse = [0] * 256
+        for position, value in enumerate(state):
+            inverse[value] = position
+        return (inverse[out] - j - state[steps]) & 0xFF
+
+    def recover_key(self) -> Optional[bytes]:
+        """Attempt full-key recovery; None when evidence is insufficient."""
+        recovered = bytearray()
+        for index in range(self.key_len):
+            votes = [0] * 256
+            counted = 0
+            for sample in self._samples[index]:
+                vote = self._vote(sample, bytes(recovered))
+                if vote is not None:
+                    votes[vote] += 1
+                    counted += 1
+            if counted < self.min_votes:
+                return None
+            recovered.append(max(range(256), key=votes.__getitem__))
+        return bytes(recovered)
+
+
+class WeakIvTrafficOracle:
+    """Simulates sniffing a busy WEP network, cheaply.
+
+    The network sends frames with a sequentially incrementing IV (the
+    common implementation).  Materializing millions of frames in Python
+    is pointless: only the weak-IV frames carry information for FMS, so
+    the oracle steps the IV counter arithmetically and emits exactly the
+    weak-IV samples a sniffer would have kept, while
+    :attr:`frames_observed` counts every frame that went past.
+    """
+
+    def __init__(self, cipher: WepCipher):
+        self.cipher = cipher
+        self.frames_observed = 0
+        self._iv_value = 0
+
+    def sniff_weak_samples(self, frame_budget: int,
+                           key_len: Optional[int] = None
+                           ) -> Iterable[WeakIvSample]:
+        """Observe up to ``frame_budget`` more frames, yielding the weak
+        samples among them."""
+        key_len = key_len if key_len is not None else len(self.cipher.key)
+        weak_firsts = {index + 3 for index in range(key_len)}
+        for _ in range(frame_budget):
+            iv_int = self._iv_value
+            self._iv_value = (self._iv_value + 1) % (1 << 24)
+            self.frames_observed += 1
+            iv = iv_int.to_bytes(3, "big")
+            if iv[0] in weak_firsts and iv[1] == 0xFF:
+                body = self.cipher.encrypt(bytes([SNAP_FIRST_BYTE]) + b"data",
+                                           iv=iv)
+                yield WeakIvSample(iv, first_keystream_byte(body))
+
+
+def crack_wep(cipher: WepCipher, max_frames: int = 40_000_000,
+              check_every: int = 1 << 22, min_votes: int = 60
+              ) -> Tuple[Optional[bytes], int]:
+    """End-to-end FMS attack: sniff until the key falls out.
+
+    Returns ``(recovered_key_or_None, frames_observed)``.
+    """
+    attack = FmsAttack(len(cipher.key), min_votes=min_votes)
+    oracle = WeakIvTrafficOracle(cipher)
+    while oracle.frames_observed < max_frames:
+        budget = min(check_every, max_frames - oracle.frames_observed)
+        for sample in oracle.sniff_weak_samples(budget):
+            attack.observe(sample)
+        key = attack.recover_key()
+        if key is not None:
+            return key, oracle.frames_observed
+    return None, oracle.frames_observed

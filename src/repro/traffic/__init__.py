@@ -1,0 +1,24 @@
+"""Traffic generation and measurement sinks."""
+
+from .generators import (
+    BulkTransferSource,
+    CbrSource,
+    HEADER_SIZE,
+    OnOffSource,
+    PoissonSource,
+    decode_packet,
+    encode_packet,
+)
+from .sink import FlowStats, TrafficSink
+
+__all__ = [
+    "BulkTransferSource",
+    "CbrSource",
+    "FlowStats",
+    "HEADER_SIZE",
+    "OnOffSource",
+    "PoissonSource",
+    "TrafficSink",
+    "decode_packet",
+    "encode_packet",
+]

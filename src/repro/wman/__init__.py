@@ -1,0 +1,21 @@
+"""WMAN substrate: the WiMAX-like scheduled point-to-multipoint MAC."""
+
+from .wimax import (
+    BURST_PROFILES,
+    DL_FRACTION,
+    FRAME_TIME,
+    FRAMING_EFFICIENCY,
+    SubscriberStation,
+    WimaxBand,
+    WimaxBaseStation,
+)
+
+__all__ = [
+    "BURST_PROFILES",
+    "DL_FRACTION",
+    "FRAME_TIME",
+    "FRAMING_EFFICIENCY",
+    "SubscriberStation",
+    "WimaxBand",
+    "WimaxBaseStation",
+]

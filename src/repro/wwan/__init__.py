@@ -1,0 +1,31 @@
+"""WWAN substrates: cellular generations and GEO satellite links."""
+
+from .cellular import (
+    Cell,
+    CellularNetwork,
+    GENERATIONS,
+    Generation,
+    MobileDevice,
+)
+from .satellite import (
+    DVBS2_RATE_BPS,
+    GEO_ALTITUDE_M,
+    GeoSatellite,
+    GroundStation,
+    SatelliteLink,
+    Transponder,
+)
+
+__all__ = [
+    "Cell",
+    "CellularNetwork",
+    "DVBS2_RATE_BPS",
+    "GENERATIONS",
+    "GEO_ALTITUDE_M",
+    "Generation",
+    "GeoSatellite",
+    "GroundStation",
+    "MobileDevice",
+    "SatelliteLink",
+    "Transponder",
+]

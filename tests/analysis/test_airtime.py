@@ -1,0 +1,78 @@
+"""Tests for trace-driven airtime accounting."""
+
+import pytest
+
+from repro.analysis.airtime import AirtimeReport
+from repro.core import Position, Simulator
+from repro.mac.addresses import allocate_address
+from repro.mac.dcf import DcfMac
+from repro.mac.rate_adapt import fixed_rate_factory
+from repro.phy.channel import Medium
+from repro.phy.propagation import FixedLoss
+from repro.phy.standards import DOT11B
+from repro.phy.transceiver import Radio
+
+
+def run_exchange(sim, frames=5):
+    medium = Medium(sim, FixedLoss(50.0))
+    tx_radio = Radio("alpha", medium, DOT11B, Position(0, 0, 0))
+    rx_radio = Radio("beta", medium, DOT11B, Position(3, 0, 0))
+    tx = DcfMac(sim, tx_radio, allocate_address(),
+                rate_factory=fixed_rate_factory("CCK-11"))
+    rx = DcfMac(sim, rx_radio, allocate_address(),
+                rate_factory=fixed_rate_factory("CCK-11"))
+    for index in range(frames):
+        tx.send(rx.address, bytes(500))
+    sim.run(until=1.0)
+    return tx, rx
+
+
+class TestAirtimeReport:
+    def test_counts_frames_per_source(self, sim):
+        run_exchange(sim, frames=5)
+        report = AirtimeReport(sim.trace, DOT11B)
+        assert report.sources["alpha"].frames == 5   # data
+        assert report.sources["beta"].frames == 5    # ACKs
+
+    def test_data_sender_dominates_airtime(self, sim):
+        run_exchange(sim, frames=5)
+        report = AirtimeReport(sim.trace, DOT11B)
+        assert report.share_of("alpha") > report.share_of("beta")
+        assert report.share_of("alpha") + report.share_of("beta") == \
+            pytest.approx(1.0)
+
+    def test_airtime_matches_formula(self, sim):
+        run_exchange(sim, frames=1)
+        report = AirtimeReport(sim.trace, DOT11B)
+        mode = DOT11B.mode_for_rate(11e6)
+        expected = DOT11B.frame_airtime((24 + 500 + 4) * 8, mode)
+        assert report.sources["alpha"].airtime_s == pytest.approx(expected)
+
+    def test_mode_breakdown(self, sim):
+        run_exchange(sim, frames=3)
+        report = AirtimeReport(sim.trace, DOT11B)
+        # Data at CCK-11; ACKs at the 1 Mb/s basic rate.
+        assert "CCK-11" in report.sources["alpha"].by_mode
+        assert "DSSS-1" in report.sources["beta"].by_mode
+
+    def test_busy_fraction_bounded_without_overlap(self, sim):
+        run_exchange(sim, frames=5)
+        report = AirtimeReport(sim.trace, DOT11B)
+        assert 0.0 < report.busy_fraction <= 1.0
+
+    def test_explicit_window(self, sim):
+        run_exchange(sim, frames=2)
+        report = AirtimeReport(sim.trace, DOT11B, window=1.0)
+        assert report.window_s == 1.0
+        assert report.busy_fraction < 0.1
+
+    def test_render_contains_sources(self, sim):
+        run_exchange(sim, frames=2)
+        text = AirtimeReport(sim.trace, DOT11B).render("demo")
+        assert "alpha" in text and "beta" in text
+        assert "busy fraction" in text
+
+    def test_empty_trace(self, sim):
+        report = AirtimeReport(sim.trace, DOT11B)
+        assert report.busy_fraction == 0.0
+        assert report.share_of("nobody") == 0.0

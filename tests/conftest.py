@@ -1,0 +1,25 @@
+"""Shared fixtures for the repro test suite."""
+
+import pytest
+
+from repro.core import Simulator
+from repro.mac.addresses import reset_allocator
+from repro.traffic.generators import _SourceBase
+
+
+@pytest.fixture(autouse=True)
+def _fresh_addresses():
+    """Give every test a clean MAC address space and flow-id space, so
+    RNG stream names derived from them are reproducible regardless of
+    test execution order."""
+    reset_allocator()
+    _SourceBase._next_flow_id = 1
+    yield
+    reset_allocator()
+    _SourceBase._next_flow_id = 1
+
+
+@pytest.fixture
+def sim():
+    """A deterministic simulator with a fixed seed."""
+    return Simulator(seed=42)

@@ -1,0 +1,67 @@
+"""Tests for the energy meter."""
+
+import pytest
+
+from repro.core import Position
+from repro.core.energy import EnergyMeter, PowerProfile
+from repro.core.errors import ConfigurationError
+from repro.phy.channel import Medium
+from repro.phy.propagation import FixedLoss
+from repro.phy.standards import DOT11B
+from repro.phy.transceiver import Radio
+
+
+class TestPowerProfile:
+    def test_default_ordering(self):
+        profile = PowerProfile()
+        assert profile.tx_watts > profile.rx_watts
+        assert profile.idle_watts > profile.sleep_watts * 50
+
+    def test_unknown_state_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerProfile().watts_for("warp")
+
+
+class TestEnergyMeter:
+    def test_integrates_over_time(self, sim):
+        profile = PowerProfile(idle_watts=2.0, sleep_watts=0.5)
+        meter = EnergyMeter(sim, profile=profile)
+        sim.schedule(1.0, meter.state_changed, "sleep")
+        sim.schedule(3.0, meter.state_changed, "idle")
+        sim.run()
+        sim.schedule(1.0, lambda: None)
+        sim.run(until=4.0)
+        # 1s idle (2J) + 2s sleep (1J) + 1s idle (2J) = 5J.
+        assert meter.joules == pytest.approx(5.0)
+        assert meter.seconds_in("sleep") == pytest.approx(2.0)
+        assert meter.seconds_in("idle") == pytest.approx(2.0)
+
+    def test_mean_power(self, sim):
+        meter = EnergyMeter(sim, profile=PowerProfile(idle_watts=1.5))
+        sim.run(until=2.0)
+        assert meter.mean_power_watts() == pytest.approx(1.5)
+
+    def test_attached_radio_states_tracked(self, sim):
+        medium = Medium(sim, FixedLoss(50.0))
+        tx = Radio("tx", medium, DOT11B, Position(0, 0, 0))
+        rx = Radio("rx", medium, DOT11B, Position(5, 0, 0))
+        meter = EnergyMeter(sim)
+        meter.attach(tx)
+        airtime = tx.transmit("x", 80_000, DOT11B.modes[0])
+        sim.run(until=1.0)
+        assert meter.seconds_in("tx") == pytest.approx(airtime, rel=1e-6)
+
+    def test_sleep_saves_energy(self, sim):
+        medium = Medium(sim, FixedLoss(50.0))
+        radio = Radio("r", medium, DOT11B, Position(0, 0, 0))
+        awake_meter = EnergyMeter(sim)
+        awake_meter.attach(radio)
+        sim.run(until=1.0)
+        awake_joules = awake_meter.joules
+
+        sim2_radio = Radio("r2", medium, DOT11B, Position(1, 0, 0))
+        sleep_meter = EnergyMeter(sim)
+        sleep_meter.attach(sim2_radio)
+        sim2_radio.sleep()
+        sim.run(until=2.0)
+        assert sleep_meter.joules < awake_joules / 20

@@ -1,0 +1,47 @@
+"""Tests for named RNG streams."""
+
+from repro.core.rng import RngRegistry
+
+
+class TestRngRegistry:
+    def test_same_name_returns_same_stream(self):
+        registry = RngRegistry(1)
+        assert registry.stream("a") is registry.stream("a")
+
+    def test_streams_are_deterministic_per_seed(self):
+        first = [RngRegistry(5).stream("mac").random() for _ in range(3)]
+        second = [RngRegistry(5).stream("mac").random() for _ in range(3)]
+        assert first == second
+
+    def test_different_names_are_independent(self):
+        registry = RngRegistry(5)
+        a = [registry.stream("a").random() for _ in range(5)]
+        b = [registry.stream("b").random() for _ in range(5)]
+        assert a != b
+
+    def test_adding_stream_does_not_perturb_existing(self):
+        plain = RngRegistry(9)
+        values_before = [plain.stream("x").random() for _ in range(5)]
+
+        with_extra = RngRegistry(9)
+        with_extra.stream("newcomer").random()
+        values_after = [with_extra.stream("x").random() for _ in range(5)]
+        assert values_before == values_after
+
+    def test_different_seeds_differ(self):
+        a = RngRegistry(1).stream("s").random()
+        b = RngRegistry(2).stream("s").random()
+        assert a != b
+
+    def test_fork_is_deterministic_and_distinct(self):
+        base = RngRegistry(3)
+        fork_a = base.fork("rep1")
+        fork_b = RngRegistry(3).fork("rep1")
+        assert fork_a.stream("x").random() == fork_b.stream("x").random()
+        assert base.fork("rep1").master_seed != base.fork("rep2").master_seed
+
+    def test_stream_names_sorted(self):
+        registry = RngRegistry(0)
+        registry.stream("zeta")
+        registry.stream("alpha")
+        assert registry.stream_names() == ["alpha", "zeta"]

@@ -1,0 +1,105 @@
+"""Tests for positions and placement helpers."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.topology import (
+    ORIGIN,
+    Position,
+    circle_layout,
+    grid_layout,
+    hexagonal_cell_centers,
+    line_layout,
+    nearest,
+    random_disc_layout,
+)
+
+
+class TestPosition:
+    def test_distance_pythagoras(self):
+        assert Position(3, 4, 0).distance_to(ORIGIN) == pytest.approx(5.0)
+
+    def test_distance_3d(self):
+        assert Position(1, 2, 2).distance_to(ORIGIN) == pytest.approx(3.0)
+
+    def test_translated(self):
+        moved = ORIGIN.translated(dx=1, dy=-2, dz=3)
+        assert (moved.x, moved.y, moved.z) == (1, -2, 3)
+
+    def test_toward_moves_the_right_distance(self):
+        target = Position(10, 0, 0)
+        step = ORIGIN.toward(target, 4.0)
+        assert step.x == pytest.approx(4.0)
+        assert step.y == 0.0
+
+    def test_toward_self_is_identity(self):
+        assert ORIGIN.toward(ORIGIN, 5.0) == ORIGIN
+
+    def test_bearing(self):
+        assert ORIGIN.bearing_to(Position(0, 1, 0)) == \
+            pytest.approx(math.pi / 2)
+
+    def test_positions_are_hashable_values(self):
+        assert Position(1, 2, 3) == Position(1, 2, 3)
+        assert len({Position(1, 2, 3), Position(1, 2, 3)}) == 1
+
+    @given(st.floats(-100, 100), st.floats(-100, 100),
+           st.floats(-100, 100), st.floats(-100, 100))
+    def test_distance_symmetric(self, x1, y1, x2, y2):
+        a, b = Position(x1, y1), Position(x2, y2)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+
+class TestLayouts:
+    def test_line_layout_spacing(self):
+        points = line_layout(4, 2.5)
+        assert [point.x for point in points] == [0.0, 2.5, 5.0, 7.5]
+
+    def test_grid_layout_count(self):
+        assert len(grid_layout(3, 4, 1.0)) == 12
+
+    def test_circle_layout_on_radius(self):
+        for point in circle_layout(7, 10.0):
+            assert point.distance_to(ORIGIN) == pytest.approx(10.0)
+
+    def test_circle_layout_distinct_points(self):
+        points = circle_layout(12, 5.0)
+        assert len({(round(p.x, 9), round(p.y, 9)) for p in points}) == 12
+
+    def test_random_disc_inside_radius(self):
+        rng = random.Random(1)
+        for point in random_disc_layout(200, 30.0, rng):
+            assert point.distance_to(ORIGIN) <= 30.0 + 1e-9
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            line_layout(-1, 1.0)
+
+
+class TestHexagonalCells:
+    def test_ring_counts(self):
+        # 1 + 6 + 12 = 19 cells for two rings.
+        assert len(hexagonal_cell_centers(0, 100.0)) == 1
+        assert len(hexagonal_cell_centers(1, 100.0)) == 7
+        assert len(hexagonal_cell_centers(2, 100.0)) == 19
+
+    def test_first_ring_at_pitch_distance(self):
+        centers = hexagonal_cell_centers(1, 100.0)
+        pitch = math.sqrt(3.0) * 100.0
+        for center in centers[1:]:
+            assert center.distance_to(ORIGIN) == pytest.approx(pitch)
+
+
+class TestNearest:
+    def test_picks_closest(self):
+        candidates = [Position(10, 0), Position(1, 0), Position(5, 0)]
+        index, distance = nearest(ORIGIN, candidates)
+        assert index == 1
+        assert distance == pytest.approx(1.0)
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            nearest(ORIGIN, [])

@@ -1,0 +1,70 @@
+"""Tests for the trace log."""
+
+from repro.core.trace import TraceLog, TraceRecord
+
+
+class TestTraceLog:
+    def test_record_and_iterate(self):
+        log = TraceLog()
+        log.record(0.5, "sta1", "tx-start", bits=100)
+        log.record(0.6, "sta2", "rx-end")
+        records = list(log)
+        assert len(records) == 2
+        assert records[0].source == "sta1"
+        assert records[0].detail == {"bits": 100}
+
+    def test_select_by_source_and_event(self):
+        log = TraceLog()
+        log.record(0.1, "a", "tx")
+        log.record(0.2, "b", "tx")
+        log.record(0.3, "a", "rx")
+        assert len(log.select(source="a")) == 2
+        assert len(log.select(event="tx")) == 2
+        assert len(log.select(source="a", event="tx")) == 1
+
+    def test_select_with_predicate(self):
+        log = TraceLog()
+        log.record(0.1, "a", "tx", size=10)
+        log.record(0.2, "a", "tx", size=99)
+        big = log.select(predicate=lambda r: r.detail.get("size", 0) > 50)
+        assert len(big) == 1
+
+    def test_capacity_drops_oldest(self):
+        log = TraceLog(capacity=3)
+        for index in range(5):
+            log.record(float(index), "s", f"e{index}")
+        assert len(log) == 3
+        assert log.dropped == 2
+        assert list(log)[0].event == "e2"
+
+    def test_disabled_log_records_nothing(self):
+        log = TraceLog(enabled=False)
+        log.record(0.1, "s", "e")
+        assert len(log) == 0
+
+    def test_clear(self):
+        log = TraceLog()
+        log.record(0.1, "s", "e")
+        log.clear()
+        assert len(log) == 0
+
+    def test_format_renders_lines(self):
+        log = TraceLog()
+        log.record(1e-3, "sta", "tx-start", mode="OFDM-54")
+        text = log.format()
+        assert "sta" in text
+        assert "tx-start" in text
+        assert "mode=OFDM-54" in text
+
+    def test_format_limit_takes_tail(self):
+        log = TraceLog()
+        for index in range(10):
+            log.record(float(index), "s", f"e{index}")
+        tail = log.format(limit=2)
+        assert "e8" in tail and "e9" in tail and "e7" not in tail
+
+
+class TestTraceRecord:
+    def test_format_microseconds(self):
+        record = TraceRecord(1.5e-6, "x", "y")
+        assert "1.500us" in record.format()

@@ -1,0 +1,74 @@
+"""Tests for unit conversions."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import units
+
+
+class TestTime:
+    def test_usec_and_msec(self):
+        assert units.usec(10) == pytest.approx(10e-6)
+        assert units.msec(5) == pytest.approx(5e-3)
+
+
+class TestRates:
+    def test_rate_constructors(self):
+        assert units.kbps(720) == 720_000
+        assert units.mbps(54) == 54e6
+        assert units.gbps(1.3) == pytest.approx(1.3e9)
+        assert units.to_mbps(11e6) == pytest.approx(11.0)
+
+    def test_transmission_time(self):
+        # 1500 bytes at 54 Mb/s.
+        assert units.transmission_time(1500 * 8, units.mbps(54)) == \
+            pytest.approx(12000 / 54e6)
+
+    def test_transmission_time_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            units.transmission_time(100, 0.0)
+        with pytest.raises(ValueError):
+            units.transmission_time(-1, 1e6)
+
+
+class TestPower:
+    def test_dbm_watts_known_points(self):
+        assert units.dbm_to_watts(0.0) == pytest.approx(1e-3)
+        assert units.dbm_to_watts(30.0) == pytest.approx(1.0)
+        assert units.watts_to_dbm(1e-3) == pytest.approx(0.0)
+
+    def test_zero_watts_is_minus_infinity_dbm(self):
+        assert units.watts_to_dbm(0.0) == -math.inf
+
+    @given(st.floats(min_value=-120, max_value=60))
+    def test_dbm_round_trip(self, dbm):
+        assert units.watts_to_dbm(units.dbm_to_watts(dbm)) == \
+            pytest.approx(dbm, abs=1e-9)
+
+    def test_db_linear_round_trip(self):
+        assert units.linear_to_db(units.db_to_linear(13.0)) == \
+            pytest.approx(13.0)
+        assert units.linear_to_db(0.0) == -math.inf
+
+
+class TestNoise:
+    def test_wlan_noise_floor_ballpark(self):
+        # kTB over 20 MHz with a 7 dB noise figure: about -94 dBm.
+        noise = units.thermal_noise_watts(20e6, noise_figure_db=7.0)
+        assert units.watts_to_dbm(noise) == pytest.approx(-94.0, abs=1.0)
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            units.thermal_noise_watts(0.0)
+
+
+class TestWavelength:
+    def test_2ghz4_wavelength(self):
+        assert units.frequency_to_wavelength(2.4e9) == \
+            pytest.approx(0.1249, abs=1e-3)
+
+    def test_bad_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            units.frequency_to_wavelength(-1.0)

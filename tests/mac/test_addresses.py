@@ -1,0 +1,83 @@
+"""Tests for MAC addresses."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import FrameError
+from repro.mac.addresses import (
+    BROADCAST,
+    MacAddress,
+    allocate_address,
+    reset_allocator,
+)
+
+
+class TestParsing:
+    def test_string_round_trip(self):
+        address = MacAddress.from_string("aa:bb:cc:dd:ee:ff")
+        assert str(address) == "aa:bb:cc:dd:ee:ff"
+
+    def test_dash_separator_accepted(self):
+        assert MacAddress.from_string("aa-bb-cc-dd-ee-ff").value == \
+            0xAABBCCDDEEFF
+
+    def test_bytes_round_trip(self):
+        raw = bytes.fromhex("0123456789ab")
+        assert MacAddress.from_bytes(raw).to_bytes() == raw
+
+    @pytest.mark.parametrize("bad", [
+        "aa:bb:cc:dd:ee", "aa:bb:cc:dd:ee:ff:00", "zz:bb:cc:dd:ee:ff",
+        "", "aabbccddeeff",
+    ])
+    def test_malformed_strings_rejected(self, bad):
+        with pytest.raises(FrameError):
+            MacAddress.from_string(bad)
+
+    def test_wrong_byte_count_rejected(self):
+        with pytest.raises(FrameError):
+            MacAddress.from_bytes(b"\x00" * 5)
+
+    def test_out_of_range_value_rejected(self):
+        with pytest.raises(FrameError):
+            MacAddress(1 << 48)
+
+    @given(st.integers(min_value=0, max_value=(1 << 48) - 1))
+    def test_value_round_trip(self, value):
+        address = MacAddress(value)
+        assert MacAddress.from_bytes(address.to_bytes()) == address
+        assert MacAddress.from_string(str(address)) == address
+
+
+class TestPredicates:
+    def test_broadcast(self):
+        assert BROADCAST.is_broadcast
+        assert BROADCAST.is_multicast  # broadcast is a multicast address
+
+    def test_multicast_group_bit(self):
+        assert MacAddress.from_string("01:00:5e:00:00:01").is_multicast
+        assert not MacAddress.from_string("00:00:5e:00:00:01").is_multicast
+
+    def test_locally_administered(self):
+        assert MacAddress.from_string("02:00:00:00:00:01")\
+            .is_locally_administered
+        assert not MacAddress.from_string("00:11:22:33:44:55")\
+            .is_locally_administered
+
+
+class TestAllocator:
+    def test_unique_addresses(self):
+        reset_allocator()
+        addresses = {allocate_address() for _ in range(100)}
+        assert len(addresses) == 100
+
+    def test_allocated_are_locally_administered_unicast(self):
+        reset_allocator()
+        address = allocate_address()
+        assert address.is_locally_administered
+        assert not address.is_multicast
+
+    def test_reset_restarts(self):
+        reset_allocator()
+        first = allocate_address()
+        reset_allocator()
+        assert allocate_address() == first

@@ -1,0 +1,83 @@
+"""Tests for binary-exponential backoff."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.mac.backoff import BackoffWindow
+
+
+def window(cw_min=15, cw_max=1023, seed=1):
+    return BackoffWindow(cw_min, cw_max, random.Random(seed))
+
+
+class TestWindowEvolution:
+    def test_starts_at_cw_min(self):
+        assert window().cw == 15
+
+    def test_doubles_on_failure(self):
+        w = window()
+        expected = [31, 63, 127, 255, 511, 1023, 1023]
+        observed = []
+        for _ in expected:
+            w.on_failure()
+            observed.append(w.cw)
+        assert observed == expected
+
+    def test_capped_at_cw_max(self):
+        w = window(cw_min=15, cw_max=63)
+        for _ in range(10):
+            w.on_failure()
+        assert w.cw == 63
+
+    def test_success_resets(self):
+        w = window()
+        w.on_failure()
+        w.on_failure()
+        w.on_success()
+        assert w.cw == 15
+        assert w.stage == 0
+
+    def test_reset_after_drop(self):
+        w = window()
+        for _ in range(5):
+            w.on_failure()
+        w.reset()
+        assert w.cw == 15
+
+    def test_stage_counts_failures(self):
+        w = window()
+        w.on_failure()
+        w.on_failure()
+        assert w.stage == 2
+
+
+class TestDraws:
+    @given(st.integers(min_value=0, max_value=20))
+    def test_draw_within_bounds(self, failures):
+        w = window(seed=7)
+        for _ in range(failures):
+            w.on_failure()
+        for _ in range(50):
+            value = w.draw()
+            assert 0 <= value <= w.cw
+
+    def test_draws_cover_the_range(self):
+        w = window(cw_min=7, seed=3)
+        draws = {w.draw() for _ in range(500)}
+        assert draws == set(range(8))
+
+    def test_deterministic_given_seed(self):
+        a = [window(seed=9).draw() for _ in range(5)]
+        b = [window(seed=9).draw() for _ in range(5)]
+        assert a == b
+
+
+class TestValidation:
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BackoffWindow(0, 1023, random.Random(1))
+        with pytest.raises(ConfigurationError):
+            BackoffWindow(31, 15, random.Random(1))

@@ -1,0 +1,57 @@
+"""Tests for receiver-side duplicate detection."""
+
+from repro.mac.addresses import MacAddress
+from repro.mac.dedup import DuplicateCache
+
+TA = MacAddress.from_string("02:00:00:00:00:01")
+TB = MacAddress.from_string("02:00:00:00:00:02")
+
+
+class TestDuplicateCache:
+    def test_first_sighting_is_not_duplicate(self):
+        cache = DuplicateCache()
+        assert not cache.is_duplicate(TA, 1, 0, retry=False)
+
+    def test_retry_of_seen_tuple_is_duplicate(self):
+        cache = DuplicateCache()
+        cache.is_duplicate(TA, 1, 0, retry=False)
+        assert cache.is_duplicate(TA, 1, 0, retry=True)
+        assert cache.duplicates_dropped == 1
+
+    def test_non_retry_repeat_is_wraparound_not_duplicate(self):
+        cache = DuplicateCache()
+        cache.is_duplicate(TA, 1, 0, retry=False)
+        assert not cache.is_duplicate(TA, 1, 0, retry=False)
+
+    def test_per_sender_separation(self):
+        cache = DuplicateCache()
+        cache.is_duplicate(TA, 1, 0, retry=False)
+        assert not cache.is_duplicate(TB, 1, 0, retry=True)
+
+    def test_fragments_tracked_separately(self):
+        cache = DuplicateCache()
+        cache.is_duplicate(TA, 1, 0, retry=False)
+        assert not cache.is_duplicate(TA, 1, 1, retry=True)
+
+    def test_history_bound_evicts_oldest(self):
+        cache = DuplicateCache(history_per_sender=2)
+        cache.is_duplicate(TA, 1, 0, retry=False)
+        cache.is_duplicate(TA, 2, 0, retry=False)
+        cache.is_duplicate(TA, 3, 0, retry=False)  # evicts (1, 0)
+        assert not cache.is_duplicate(TA, 1, 0, retry=True)
+
+    def test_sender_cap_evicts_lru(self):
+        cache = DuplicateCache(max_senders=2)
+        a = MacAddress(1)
+        b = MacAddress(2)
+        c = MacAddress(3)
+        cache.is_duplicate(a, 1, 0, retry=False)
+        cache.is_duplicate(b, 1, 0, retry=False)
+        cache.is_duplicate(c, 1, 0, retry=False)  # evicts a
+        assert not cache.is_duplicate(a, 1, 0, retry=True)
+
+    def test_forget(self):
+        cache = DuplicateCache()
+        cache.is_duplicate(TA, 1, 0, retry=False)
+        cache.forget(TA)
+        assert not cache.is_duplicate(TA, 1, 0, retry=True)

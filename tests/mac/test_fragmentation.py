@@ -1,0 +1,106 @@
+"""Tests for MSDU fragmentation and reassembly."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import FrameError
+from repro.mac.addresses import MacAddress
+from repro.mac.fragmentation import (
+    Reassembler,
+    fragment_payload,
+)
+
+TA = MacAddress.from_string("02:00:00:00:00:01")
+
+
+class TestFragmentation:
+    def test_small_payload_single_fragment(self):
+        fragments = fragment_payload(b"short", threshold=100)
+        assert len(fragments) == 1
+        assert not fragments[0].more_fragments
+        assert fragments[0].payload == b"short"
+
+    def test_exact_threshold_single_fragment(self):
+        fragments = fragment_payload(b"x" * 100, threshold=100)
+        assert len(fragments) == 1
+
+    def test_threshold_plus_one_splits(self):
+        fragments = fragment_payload(b"x" * 101, threshold=100)
+        assert len(fragments) == 2
+        assert fragments[0].more_fragments
+        assert not fragments[1].more_fragments
+        assert len(fragments[1].payload) == 1
+
+    def test_indices_sequential(self):
+        fragments = fragment_payload(b"x" * 500, threshold=100)
+        assert [fragment.index for fragment in fragments] == [0, 1, 2, 3, 4]
+
+    def test_empty_payload(self):
+        fragments = fragment_payload(b"", threshold=100)
+        assert len(fragments) == 1
+        assert fragments[0].payload == b""
+
+    def test_too_many_fragments_rejected(self):
+        with pytest.raises(FrameError):
+            fragment_payload(b"x" * 17, threshold=1)
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(FrameError):
+            fragment_payload(b"x", threshold=0)
+
+    @given(st.binary(min_size=0, max_size=2000),
+           st.integers(min_value=150, max_value=600))
+    def test_fragments_concatenate_to_payload(self, payload, threshold):
+        fragments = fragment_payload(payload, threshold)
+        reassembled = b"".join(fragment.payload for fragment in fragments)
+        assert reassembled == payload
+
+
+class TestReassembler:
+    def test_unfragmented_fast_path(self):
+        reassembler = Reassembler()
+        result = reassembler.add_fragment(0.0, TA, 1, 0, False, b"whole")
+        assert result == b"whole"
+        assert reassembler.pending == 0
+
+    def test_in_order_reassembly(self):
+        reassembler = Reassembler()
+        assert reassembler.add_fragment(0.0, TA, 5, 0, True, b"AA") is None
+        assert reassembler.add_fragment(0.1, TA, 5, 1, True, b"BB") is None
+        assert reassembler.add_fragment(0.2, TA, 5, 2, False, b"CC") == \
+            b"AABBCC"
+
+    def test_duplicate_fragment_tolerated(self):
+        reassembler = Reassembler()
+        reassembler.add_fragment(0.0, TA, 5, 0, True, b"AA")
+        reassembler.add_fragment(0.1, TA, 5, 0, True, b"AA")
+        assert reassembler.add_fragment(0.2, TA, 5, 1, False, b"BB") == \
+            b"AABB"
+
+    def test_interleaved_senders(self):
+        other = MacAddress.from_string("02:00:00:00:00:02")
+        reassembler = Reassembler()
+        reassembler.add_fragment(0.0, TA, 1, 0, True, b"ta0")
+        reassembler.add_fragment(0.1, other, 1, 0, True, b"tb0")
+        assert reassembler.add_fragment(0.2, TA, 1, 1, False, b"ta1") == \
+            b"ta0ta1"
+        assert reassembler.add_fragment(0.3, other, 1, 1, False, b"tb1") == \
+            b"tb0tb1"
+
+    def test_timeout_discards_stale_partials(self):
+        reassembler = Reassembler(timeout=1.0)
+        reassembler.add_fragment(0.0, TA, 1, 0, True, b"AA")
+        # Far in the future, the partial is expired; the final fragment
+        # alone cannot complete the MSDU.
+        assert reassembler.add_fragment(5.0, TA, 1, 1, False, b"BB") is None
+        assert reassembler.timed_out == 1
+
+    def test_round_trip_with_fragment_payload(self):
+        payload = bytes(range(256)) * 4
+        reassembler = Reassembler()
+        result = None
+        for fragment in fragment_payload(payload, threshold=100):
+            result = reassembler.add_fragment(
+                0.0, TA, 9, fragment.index, fragment.more_fragments,
+                fragment.payload)
+        assert result == payload

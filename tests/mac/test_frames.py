@@ -1,0 +1,182 @@
+"""Tests for 802.11 MAC frame encoding (source text §4.2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import FrameError
+from repro.mac.addresses import BROADCAST, MacAddress
+from repro.mac.frames import (
+    ACK_SIZE_BYTES,
+    CTS_SIZE_BYTES,
+    ControlSubtype,
+    Dot11Frame,
+    FrameControl,
+    FrameType,
+    ManagementSubtype,
+    RTS_SIZE_BYTES,
+    SequenceControl,
+    make_ack,
+    make_cts,
+    make_data,
+    make_management,
+    make_rts,
+)
+
+TA = MacAddress.from_string("02:00:00:00:00:01")
+RA = MacAddress.from_string("02:00:00:00:00:02")
+BSSID = MacAddress.from_string("02:00:00:00:00:03")
+A4 = MacAddress.from_string("02:00:00:00:00:04")
+
+addresses = st.integers(min_value=0, max_value=(1 << 48) - 1)\
+    .map(MacAddress)
+
+
+class TestFrameControl:
+    def test_bit_packing_round_trip(self):
+        fc = FrameControl(protocol_version=0, type=FrameType.DATA,
+                          subtype=0, to_ds=True, retry=True,
+                          protected=True, more_data=True)
+        assert FrameControl.from_int(fc.to_int()) == fc
+
+    @given(st.integers(min_value=0, max_value=3),
+           st.sampled_from(list(FrameType)),
+           st.integers(min_value=0, max_value=15),
+           *[st.booleans() for _ in range(8)])
+    def test_all_fields_round_trip(self, version, ftype, subtype, to_ds,
+                                   from_ds, more_frag, retry, pm,
+                                   more_data, protected, order):
+        fc = FrameControl(protocol_version=version, type=ftype,
+                          subtype=subtype, to_ds=to_ds, from_ds=from_ds,
+                          more_fragments=more_frag, retry=retry,
+                          power_management=pm, more_data=more_data,
+                          protected=protected, order=order)
+        assert FrameControl.from_int(fc.to_int()) == fc
+
+    def test_wep_bit_position(self):
+        """The WEP/Protected bit is bit 14 of the frame control field."""
+        fc = FrameControl(protected=True)
+        assert fc.to_int() & (1 << 14)
+
+    def test_reserved_type_rejected(self):
+        with pytest.raises(FrameError):
+            FrameControl.from_int(0b1100)  # type bits = 3
+
+    def test_bad_subtype_rejected(self):
+        with pytest.raises(FrameError):
+            FrameControl(subtype=16)
+
+
+class TestSequenceControl:
+    @given(st.integers(min_value=0, max_value=4095),
+           st.integers(min_value=0, max_value=15))
+    def test_round_trip(self, sequence, fragment):
+        sc = SequenceControl(sequence=sequence, fragment=fragment)
+        assert SequenceControl.from_int(sc.to_int()) == sc
+
+    def test_field_limits(self):
+        with pytest.raises(FrameError):
+            SequenceControl(sequence=4096)
+        with pytest.raises(FrameError):
+            SequenceControl(fragment=16)
+
+
+class TestControlFrameSizes:
+    """Exact on-air sizes from the standard."""
+
+    def test_rts_is_20_bytes(self):
+        rts = make_rts(TA, RA, duration_us=100)
+        assert rts.wire_size_bytes() == RTS_SIZE_BYTES == 20
+        assert len(rts.serialize()) == 20
+
+    def test_cts_is_14_bytes(self):
+        cts = make_cts(RA, duration_us=80)
+        assert cts.wire_size_bytes() == CTS_SIZE_BYTES == 14
+        assert len(cts.serialize()) == 14
+
+    def test_ack_is_14_bytes(self):
+        ack = make_ack(RA)
+        assert ack.wire_size_bytes() == ACK_SIZE_BYTES == 14
+        assert len(ack.serialize()) == 14
+
+    def test_data_header_is_28_plus_body(self):
+        frame = make_data(TA, RA, BSSID, b"x" * 100, sequence=1)
+        assert frame.wire_size_bytes() == 24 + 100 + 4
+
+
+class TestSerialization:
+    def test_data_round_trip(self):
+        frame = make_data(TA, RA, BSSID, b"payload bytes", sequence=77,
+                          fragment=2, more_fragments=True, to_ds=True,
+                          protected=True, duration_us=314)
+        parsed = Dot11Frame.parse(frame.serialize())
+        assert parsed == frame
+
+    def test_management_round_trip(self):
+        frame = make_management(ManagementSubtype.BEACON, TA, BROADCAST,
+                                BSSID, b"beacon body", sequence=9)
+        parsed = Dot11Frame.parse(frame.serialize())
+        assert parsed == frame
+        assert parsed.is_beacon
+
+    def test_rts_round_trip(self):
+        rts = make_rts(TA, RA, duration_us=512)
+        parsed = Dot11Frame.parse(rts.serialize())
+        assert parsed.is_rts
+        assert parsed.transmitter == TA
+        assert parsed.duration_us == 512
+
+    def test_ack_round_trip(self):
+        parsed = Dot11Frame.parse(make_ack(RA).serialize())
+        assert parsed.is_ack
+        assert parsed.receiver == RA
+
+    def test_four_address_round_trip(self):
+        fc = FrameControl(type=FrameType.DATA, to_ds=True, from_ds=True)
+        frame = Dot11Frame(fc=fc, addr1=RA, addr2=TA, addr3=BSSID,
+                           addr4=A4, body=b"wds")
+        parsed = Dot11Frame.parse(frame.serialize())
+        assert parsed.addr4 == A4
+        assert parsed.body == b"wds"
+
+    @given(st.binary(max_size=256),
+           st.integers(min_value=0, max_value=4095),
+           st.integers(min_value=0, max_value=15),
+           st.booleans(), st.booleans())
+    def test_data_round_trip_property(self, body, sequence, fragment,
+                                      retry, protected):
+        frame = make_data(TA, RA, BSSID, body, sequence=sequence,
+                          fragment=fragment, protected=protected)
+        if retry:
+            frame = frame.with_retry()
+        assert Dot11Frame.parse(frame.serialize()) == frame
+
+
+class TestCorruptionDetection:
+    def test_flipped_bit_fails_fcs(self):
+        raw = bytearray(make_data(TA, RA, BSSID, b"x" * 50,
+                                  sequence=1).serialize())
+        raw[30] ^= 0x01
+        with pytest.raises(FrameError, match="FCS"):
+            Dot11Frame.parse(bytes(raw))
+
+    def test_truncated_frame_rejected(self):
+        with pytest.raises(FrameError):
+            Dot11Frame.parse(b"\x00" * 6)
+
+
+class TestValidation:
+    def test_wds_without_addr4_rejected(self):
+        fc = FrameControl(type=FrameType.DATA, to_ds=True, from_ds=True)
+        with pytest.raises(FrameError):
+            Dot11Frame(fc=fc, addr1=RA, addr2=TA, addr3=BSSID)
+
+    def test_duration_range(self):
+        with pytest.raises(FrameError):
+            make_cts(RA, duration_us=0x10000)
+
+    def test_with_retry_sets_only_the_retry_bit(self):
+        frame = make_data(TA, RA, BSSID, b"x", sequence=5)
+        retried = frame.with_retry()
+        assert retried.fc.retry and not frame.fc.retry
+        assert retried.body == frame.body
+        assert retried.seq == frame.seq

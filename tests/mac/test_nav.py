@@ -1,0 +1,57 @@
+"""Tests for the NAV (virtual carrier sense)."""
+
+from repro.mac.nav import Nav
+
+
+class TestNav:
+    def test_initially_idle(self, sim):
+        assert not Nav(sim).busy
+
+    def test_busy_until_expiry(self, sim):
+        nav = Nav(sim)
+        nav.set_duration(0.5)
+        assert nav.busy
+        sim.run(until=0.6)
+        assert not nav.busy
+
+    def test_never_shortens(self, sim):
+        nav = Nav(sim)
+        nav.set_duration(1.0)
+        nav.set_duration(0.2)  # shorter reservation must be ignored
+        assert nav.until == 1.0
+
+    def test_extends_forward(self, sim):
+        nav = Nav(sim)
+        nav.set_duration(0.2)
+        nav.set_duration(1.0)
+        assert nav.until == 1.0
+
+    def test_expiry_callback_fires_once(self, sim):
+        fired = []
+        nav = Nav(sim, on_expire=lambda: fired.append(sim.now))
+        nav.set_duration(0.5)
+        sim.run(until=2.0)
+        assert fired == [0.5]
+
+    def test_extension_reschedules_callback(self, sim):
+        fired = []
+        nav = Nav(sim, on_expire=lambda: fired.append(sim.now))
+        nav.set_duration(0.5)
+        nav.set_duration(1.5)
+        sim.run(until=2.0)
+        assert fired == [1.5]
+
+    def test_clear(self, sim):
+        fired = []
+        nav = Nav(sim, on_expire=lambda: fired.append(sim.now))
+        nav.set_duration(0.5)
+        nav.clear()
+        sim.run(until=1.0)
+        assert not nav.busy
+        assert fired == []
+
+    def test_set_until_absolute(self, sim):
+        nav = Nav(sim)
+        nav.set_until(3.25)
+        assert nav.until == 3.25
+        assert nav.busy

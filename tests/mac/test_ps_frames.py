@@ -1,0 +1,78 @@
+"""Tests for the power-save frame types (PS-Poll, null data)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mac.addresses import MacAddress
+from repro.mac.frames import (
+    ControlSubtype,
+    DataSubtype,
+    Dot11Frame,
+    RTS_SIZE_BYTES,
+    make_null,
+    make_ps_poll,
+)
+
+TA = MacAddress.from_string("02:00:00:00:00:01")
+BSSID = MacAddress.from_string("02:00:00:00:00:02")
+
+
+class TestPsPoll:
+    def test_is_20_bytes_like_rts(self):
+        frame = make_ps_poll(TA, BSSID, aid=7)
+        assert frame.wire_size_bytes() == RTS_SIZE_BYTES == 20
+        assert len(frame.serialize()) == 20
+
+    def test_duration_field_carries_the_aid(self):
+        frame = make_ps_poll(TA, BSSID, aid=42)
+        assert frame.duration_us == 42  # AID, not microseconds
+
+    @given(st.integers(min_value=0, max_value=2007))
+    def test_round_trip(self, aid):
+        frame = make_ps_poll(TA, BSSID, aid=aid)
+        parsed = Dot11Frame.parse(frame.serialize())
+        assert parsed.fc.subtype == ControlSubtype.PS_POLL
+        assert parsed.duration_us == aid
+        assert parsed.transmitter == TA
+        assert parsed.addr1 == BSSID
+
+
+class TestNullFrame:
+    def test_has_no_body(self):
+        frame = make_null(TA, BSSID, BSSID, sequence=5,
+                          power_management=True)
+        assert frame.body == b""
+        assert frame.fc.subtype == DataSubtype.NULL
+
+    @given(st.booleans(), st.integers(min_value=0, max_value=4095))
+    def test_round_trip_preserves_pm_bit(self, pm, sequence):
+        frame = make_null(TA, BSSID, BSSID, sequence=sequence,
+                          power_management=pm)
+        parsed = Dot11Frame.parse(frame.serialize())
+        assert parsed.fc.power_management == pm
+        assert parsed.seq.sequence == sequence
+        assert parsed.fc.type.name == "DATA"
+
+    def test_to_ds_flag(self):
+        uplink = make_null(TA, BSSID, BSSID, 0, True, to_ds=True)
+        assert uplink.fc.to_ds
+        peer = make_null(TA, BSSID, BSSID, 0, True, to_ds=False)
+        assert not peer.fc.to_ds
+
+
+class TestTimRoundTrip:
+    @given(st.lists(st.integers(min_value=1, max_value=255), max_size=20))
+    def test_beacon_tim_round_trip(self, aids):
+        from repro.net.elements import BeaconBody
+        body = BeaconBody(timestamp_us=0, beacon_interval_tu=100,
+                          capability=1, ssid="tim-test",
+                          tim_aids=tuple(aids))
+        decoded = BeaconBody.decode(body.encode())
+        assert set(decoded.tim_aids) == set(aids)
+
+    def test_out_of_range_aid_rejected(self):
+        from repro.core.errors import FrameError
+        from repro.net.elements import BeaconBody
+        body = BeaconBody(0, 100, 1, "x", tim_aids=(0,))
+        with pytest.raises(FrameError):
+            body.encode()

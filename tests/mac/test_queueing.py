@@ -1,0 +1,67 @@
+"""Tests for the MAC interface queue."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.mac.addresses import MacAddress
+from repro.mac.queueing import DropTailQueue, Msdu
+
+DEST = MacAddress.from_string("02:00:00:00:00:02")
+
+
+def msdu(payload=b"x"):
+    return Msdu(destination=DEST, payload=payload)
+
+
+class TestDropTailQueue:
+    def test_fifo_order(self, sim):
+        queue = DropTailQueue(sim, capacity=10)
+        for index in range(3):
+            queue.offer(msdu(bytes([index])))
+        polled = [queue.poll().payload for _ in range(3)]
+        assert polled == [b"\x00", b"\x01", b"\x02"]
+
+    def test_poll_empty_returns_none(self, sim):
+        assert DropTailQueue(sim).poll() is None
+
+    def test_drop_tail_on_overflow(self, sim):
+        queue = DropTailQueue(sim, capacity=2)
+        assert queue.offer(msdu())
+        assert queue.offer(msdu())
+        assert not queue.offer(msdu())
+        assert queue.dropped == 1
+        assert queue.enqueued == 2
+
+    def test_peek_does_not_remove(self, sim):
+        queue = DropTailQueue(sim)
+        queue.offer(msdu(b"head"))
+        assert queue.peek().payload == b"head"
+        assert len(queue) == 1
+
+    def test_enqueue_timestamps(self, sim):
+        queue = DropTailQueue(sim)
+        sim.schedule(1.5, lambda: queue.offer(msdu()))
+        sim.run()
+        assert queue.poll().enqueued_at == 1.5
+
+    def test_mean_occupancy_time_weighted(self, sim):
+        queue = DropTailQueue(sim)
+        sim.schedule(0.0, lambda: queue.offer(msdu()))
+        sim.schedule(1.0, lambda: queue.offer(msdu()))
+        sim.schedule(2.0, queue.poll)
+        sim.schedule(2.0, queue.poll)
+        sim.run()
+        sim.schedule(2.0, lambda: None)
+        sim.run(until=4.0)
+        # occupancy: 1 for [0,1), 2 for [1,2), 0 for [2,4) -> mean 3/4.
+        assert queue.mean_occupancy() == pytest.approx(0.75)
+
+    def test_clear(self, sim):
+        queue = DropTailQueue(sim)
+        queue.offer(msdu())
+        queue.clear()
+        assert queue.empty
+
+    def test_bad_capacity_rejected(self, sim):
+        with pytest.raises(ConfigurationError):
+            DropTailQueue(sim, capacity=0)

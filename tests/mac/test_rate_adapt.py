@@ -1,0 +1,163 @@
+"""Tests for the rate-adaptation algorithms (the driver mechanism)."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.mac.rate_adapt import (
+    Aarf,
+    Arf,
+    FixedRate,
+    IdealSnr,
+    fixed_rate_factory,
+)
+from repro.phy.standards import DOT11A, DOT11B
+
+
+class TestFixedRate:
+    def test_pins_the_mode(self):
+        controller = FixedRate(DOT11B, DOT11B.modes[2])
+        controller.on_failure()
+        controller.on_failure()
+        assert controller.current_mode() is DOT11B.modes[2]
+
+    def test_foreign_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FixedRate(DOT11B, DOT11A.modes[0])
+
+    def test_factory_lookup_by_name(self):
+        build = fixed_rate_factory("CCK-11")
+        assert build(DOT11B).current_mode().name == "CCK-11"
+        with pytest.raises(ConfigurationError):
+            fixed_rate_factory("no-such")(DOT11B)
+
+
+class TestArf:
+    def test_starts_at_top_by_default(self):
+        controller = Arf(DOT11A)
+        assert controller.current_mode() is DOT11A.modes[-1]
+
+    def test_two_failures_step_down(self):
+        controller = Arf(DOT11A, initial_index=4)
+        controller.on_failure()
+        assert controller.index == 4
+        controller.on_failure()
+        assert controller.index == 3
+
+    def test_ten_successes_step_up(self):
+        controller = Arf(DOT11A, initial_index=2, success_threshold=10)
+        for _ in range(9):
+            controller.on_success()
+        assert controller.index == 2
+        controller.on_success()
+        assert controller.index == 3
+
+    def test_failed_probe_drops_immediately(self):
+        controller = Arf(DOT11A, initial_index=2, success_threshold=10)
+        for _ in range(10):
+            controller.on_success()
+        assert controller.index == 3  # probing the new rate
+        controller.on_failure()       # single probe failure
+        assert controller.index == 2
+
+    def test_success_after_probe_confirms_rate(self):
+        controller = Arf(DOT11A, initial_index=2, success_threshold=10)
+        for _ in range(10):
+            controller.on_success()
+        controller.on_success()  # probe succeeded
+        controller.on_failure()  # one ordinary failure: no step yet
+        assert controller.index == 3
+
+    def test_floor_and_ceiling(self):
+        controller = Arf(DOT11A, initial_index=0, failure_threshold=2)
+        controller.on_failure()
+        controller.on_failure()
+        assert controller.index == 0
+        top = Arf(DOT11A, initial_index=len(DOT11A.modes) - 1,
+                  success_threshold=1)
+        top.on_success()
+        assert top.index == len(DOT11A.modes) - 1
+
+    def test_timer_triggers_probe(self):
+        controller = Arf(DOT11A, initial_index=0, success_threshold=100,
+                         timer_threshold=5)
+        for _ in range(5):
+            controller.on_success()
+        assert controller.index == 1
+
+    def test_counters(self):
+        controller = Arf(DOT11A, initial_index=2, success_threshold=2,
+                         failure_threshold=2)
+        controller.on_success()
+        controller.on_success()
+        assert controller.rate_increases == 1
+        controller.on_failure()  # failed probe
+        assert controller.rate_decreases == 1
+
+
+class TestAarf:
+    def test_failed_probe_doubles_threshold(self):
+        controller = Aarf(DOT11A, initial_index=2, success_threshold=10)
+        for _ in range(10):
+            controller.on_success()
+        controller.on_failure()  # failed probe
+        assert controller.success_threshold == 20
+
+    def test_threshold_capped(self):
+        controller = Aarf(DOT11A, initial_index=2, success_threshold=10,
+                          max_success_threshold=40)
+        for _round in range(5):
+            for _ in range(controller.success_threshold):
+                controller.on_success()
+            if controller.index == 3:
+                controller.on_failure()
+        assert controller.success_threshold <= 40
+
+    def test_genuine_failure_resets_threshold(self):
+        controller = Aarf(DOT11A, initial_index=3, success_threshold=10)
+        # Push the threshold up via a failed probe.
+        for _ in range(10):
+            controller.on_success()
+        controller.on_failure()
+        assert controller.success_threshold == 20
+        # Now two genuine failures (not probes) drop the rate and reset.
+        controller.on_failure()
+        controller.on_failure()
+        assert controller.success_threshold == 10
+
+    def test_aarf_loses_fewer_probes_than_arf_on_stable_channel(self):
+        """On a channel where the next rate up always fails, AARF should
+        attempt fewer doomed probes than ARF over the same horizon."""
+
+        def run(controller_cls):
+            controller = controller_cls(DOT11A, initial_index=3,
+                                        success_threshold=10)
+            probe_losses = 0
+            for _ in range(2000):
+                if controller.index > 3:
+                    controller.on_failure()  # probe always fails
+                    probe_losses += 1
+                else:
+                    controller.on_success()
+            return probe_losses
+
+        assert run(Aarf) < run(Arf)
+
+
+class TestIdealSnr:
+    def test_uses_measured_snr(self):
+        controller = IdealSnr(DOT11A, margin_db=0.0)
+        controller.on_snr_measurement(50.0)
+        assert controller.current_mode() is DOT11A.modes[-1]
+        controller.on_snr_measurement(9.0)
+        assert controller.current_mode().name == "OFDM-12"
+
+    def test_no_measurement_uses_base_rate(self):
+        assert IdealSnr(DOT11A).current_mode() is DOT11A.modes[0]
+
+    def test_margin_backs_off(self):
+        eager = IdealSnr(DOT11A, margin_db=0.0)
+        careful = IdealSnr(DOT11A, margin_db=3.0)
+        for controller in (eager, careful):
+            controller.on_snr_measurement(23.5)
+        assert careful.current_mode().data_rate_bps <= \
+            eager.current_mode().data_rate_bps

@@ -1,0 +1,92 @@
+"""Tests for SNR -> frame delivery error models."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.phy.error_models import (
+    BerErrorModel,
+    FixedPerErrorModel,
+    SnrThresholdErrorModel,
+)
+from repro.phy.modulation import OFDM_QPSK_12
+
+
+class TestBerErrorModel:
+    def test_per_bounds(self):
+        model = BerErrorModel()
+        for snr in (-20.0, 0.0, 10.0, 40.0):
+            per = model.packet_error_rate(snr, 12000, OFDM_QPSK_12)
+            assert 0.0 <= per <= 1.0
+
+    def test_per_increases_with_size(self):
+        model = BerErrorModel()
+        small = model.packet_error_rate(8.0, 100 * 8, OFDM_QPSK_12)
+        large = model.packet_error_rate(8.0, 1500 * 8, OFDM_QPSK_12)
+        assert large >= small
+
+    def test_per_decreases_with_snr(self):
+        model = BerErrorModel()
+        pers = [model.packet_error_rate(snr, 12000, OFDM_QPSK_12)
+                for snr in range(-5, 30, 5)]
+        for earlier, later in zip(pers, pers[1:]):
+            assert later <= earlier + 1e-15
+
+    def test_zero_size_never_fails(self):
+        model = BerErrorModel()
+        assert model.packet_error_rate(-50.0, 0, OFDM_QPSK_12) == 0.0
+
+    def test_tiny_ber_does_not_underflow_to_zero(self):
+        # At a moderate SNR the per-bit error is small but a long frame
+        # should still have a measurable, nonzero PER.
+        model = BerErrorModel()
+        per = model.packet_error_rate(11.0, 1500 * 8, OFDM_QPSK_12)
+        assert 0.0 < per < 1.0
+
+    def test_frame_survival_sampling_matches_per(self):
+        model = BerErrorModel()
+        rng = random.Random(1)
+        snr = 9.0
+        per = model.packet_error_rate(snr, 12000, OFDM_QPSK_12)
+        trials = 4000
+        failures = sum(
+            not model.frame_survives(snr, 12000, OFDM_QPSK_12, rng)
+            for _ in range(trials))
+        assert failures / trials == pytest.approx(per, abs=0.05)
+
+
+class TestSnrThreshold:
+    def test_cliff(self):
+        model = SnrThresholdErrorModel(threshold_db=10.0)
+        assert model.packet_error_rate(10.0, 1000, OFDM_QPSK_12) == 0.0
+        assert model.packet_error_rate(9.99, 1000, OFDM_QPSK_12) == 1.0
+
+    def test_deterministic_sampling(self):
+        model = SnrThresholdErrorModel(threshold_db=5.0)
+        rng = random.Random(1)
+        assert model.frame_survives(6.0, 1000, OFDM_QPSK_12, rng)
+        assert not model.frame_survives(4.0, 1000, OFDM_QPSK_12, rng)
+
+
+class TestFixedPer:
+    def test_constant_rate(self):
+        model = FixedPerErrorModel(per=0.25)
+        assert model.packet_error_rate(100.0, 10, OFDM_QPSK_12) == 0.25
+
+    def test_sampling_long_run(self):
+        model = FixedPerErrorModel(per=0.3)
+        rng = random.Random(2)
+        trials = 5000
+        failures = sum(
+            not model.frame_survives(0.0, 1, OFDM_QPSK_12, rng)
+            for _ in range(trials))
+        assert failures / trials == pytest.approx(0.3, abs=0.03)
+
+    @given(st.floats(min_value=-0.01, max_value=1.01))
+    def test_per_validation(self, per):
+        if 0.0 <= per <= 1.0:
+            FixedPerErrorModel(per=per)
+        else:
+            with pytest.raises(ValueError):
+                FixedPerErrorModel(per=per)

@@ -1,0 +1,65 @@
+"""Unit tests for SINR tracking and the capture model."""
+
+import math
+
+import pytest
+
+from repro.phy.interference import CaptureModel, SinrTracker
+
+
+class TestSinrTracker:
+    def test_noise_only(self):
+        tracker = SinrTracker(signal_watts=1e-9, noise_watts=1e-12,
+                              start=0.0)
+        tracker.set_interference(0.0, 0.0)
+        # SNR = 30 dB.
+        assert tracker.sinr_db(1.0) == pytest.approx(30.0)
+
+    def test_full_overlap_interference(self):
+        tracker = SinrTracker(signal_watts=1e-9, noise_watts=1e-15,
+                              start=0.0)
+        tracker.set_interference(0.0, 1e-9)  # equal-power interferer
+        assert tracker.sinr_db(1.0) == pytest.approx(0.0, abs=0.01)
+
+    def test_partial_overlap_weighted_by_time(self):
+        tracker = SinrTracker(signal_watts=1e-9, noise_watts=1e-15,
+                              start=0.0)
+        tracker.set_interference(0.0, 0.0)
+        tracker.set_interference(0.9, 1e-9)   # last 10% overlapped
+        # Mean interference = 0.1e-9 -> SINR = 10 dB.
+        assert tracker.sinr_db(1.0) == pytest.approx(10.0, abs=0.05)
+
+    def test_interference_that_ends_early(self):
+        tracker = SinrTracker(signal_watts=1e-9, noise_watts=1e-15,
+                              start=0.0)
+        tracker.set_interference(0.0, 1e-9)
+        tracker.set_interference(0.5, 0.0)    # interferer leaves halfway
+        assert tracker.sinr_db(1.0) == pytest.approx(3.01, abs=0.05)
+
+    def test_time_cannot_go_backwards(self):
+        tracker = SinrTracker(1e-9, 1e-15, start=1.0)
+        with pytest.raises(ValueError):
+            tracker.set_interference(0.5, 0.0)
+        with pytest.raises(ValueError):
+            tracker.sinr_db(0.5)
+
+    def test_zero_noise_zero_interference_is_infinite(self):
+        tracker = SinrTracker(1e-9, 0.0, start=0.0)
+        assert math.isinf(tracker.sinr_db(1.0))
+
+
+class TestCaptureModel:
+    def test_threshold_behaviour(self):
+        model = CaptureModel(enabled=True, threshold_db=10.0)
+        assert model.should_capture(locked_power_watts=1e-9,
+                                    new_power_watts=1e-8 * 1.01)
+        assert not model.should_capture(locked_power_watts=1e-9,
+                                        new_power_watts=5e-9)
+
+    def test_disabled_never_captures(self):
+        model = CaptureModel(enabled=False)
+        assert not model.should_capture(1e-12, 1.0)
+
+    def test_zero_locked_power_always_captured(self):
+        model = CaptureModel(enabled=True)
+        assert model.should_capture(0.0, 1e-15)

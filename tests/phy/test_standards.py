@@ -1,0 +1,136 @@
+"""Tests for the PHY standards catalogue — including the source text's
+rate tables (Fig 1.13 and the chapter 8 comparison table)."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.units import mbps, usec
+from repro.phy.standards import (
+    DOT11A,
+    DOT11AC,
+    DOT11B,
+    DOT11G,
+    DOT11N,
+    DOT11_LEGACY,
+    STANDARDS,
+    get_standard,
+)
+
+
+class TestTextRateTables:
+    """The numbers the source text tabulates, verified as data."""
+
+    def test_legacy_is_1_and_2_mbps_fhss(self):
+        rates = [mode.data_rate_bps for mode in DOT11_LEGACY.modes]
+        assert rates == [mbps(1), mbps(2)]
+
+    def test_80211b_ladder(self):
+        rates = [mode.data_rate_bps for mode in DOT11B.modes]
+        assert rates == [mbps(1), mbps(2), mbps(5.5), mbps(11)]
+
+    def test_80211a_and_g_share_the_ofdm_ladder(self):
+        expected = [mbps(r) for r in (6, 9, 12, 18, 24, 36, 48, 54)]
+        assert [m.data_rate_bps for m in DOT11A.modes] == expected
+        assert [m.data_rate_bps for m in DOT11G.modes] == expected
+
+    def test_bands_per_text(self):
+        assert DOT11B.band_hz == pytest.approx(2.4e9)
+        assert DOT11G.band_hz == pytest.approx(2.4e9)
+        assert DOT11A.band_hz == pytest.approx(5.0e9)
+        assert DOT11AC.band_hz == pytest.approx(5.0e9)
+
+    def test_peak_rates_per_text(self):
+        assert DOT11B.max_rate_bps == mbps(11)
+        assert DOT11A.max_rate_bps == mbps(54)
+        assert DOT11G.max_rate_bps == mbps(54)
+        assert DOT11N.max_rate_bps == mbps(600)
+        assert DOT11AC.max_rate_bps == pytest.approx(mbps(1300), rel=0.01)
+
+    def test_nominal_ranges_per_text(self):
+        assert DOT11B.nominal_range_m == 100.0
+        assert DOT11N.nominal_range_m == 250.0
+        assert DOT11AC.nominal_range_m == 250.0
+
+    def test_mimo_streams(self):
+        top_n = DOT11N.modes[-1]
+        assert top_n.spatial_streams == 4
+        top_ac = DOT11AC.modes[-1]
+        assert top_ac.spatial_streams == 3
+
+
+class TestTiming:
+    def test_difs_is_sifs_plus_two_slots(self):
+        for standard in STANDARDS.values():
+            assert standard.difs == pytest.approx(
+                standard.sifs + 2 * standard.slot_time)
+
+    def test_80211b_timing_constants(self):
+        assert DOT11B.slot_time == pytest.approx(usec(20))
+        assert DOT11B.sifs == pytest.approx(usec(10))
+        assert DOT11B.difs == pytest.approx(usec(50))
+
+    def test_80211a_timing_constants(self):
+        assert DOT11A.slot_time == pytest.approx(usec(9))
+        assert DOT11A.sifs == pytest.approx(usec(16))
+        assert DOT11A.difs == pytest.approx(usec(34))
+
+    def test_eifs_exceeds_difs(self):
+        for standard in STANDARDS.values():
+            assert standard.eifs > standard.difs
+
+
+class TestModeSelection:
+    def test_mode_for_rate(self):
+        assert DOT11B.mode_for_rate(mbps(11)).name == "CCK-11"
+        with pytest.raises(ConfigurationError):
+            DOT11B.mode_for_rate(mbps(54))
+
+    def test_best_mode_for_snr_monotone(self):
+        previous_rate = 0.0
+        for snr in range(0, 40, 2):
+            mode = DOT11A.best_mode_for_snr(float(snr))
+            if mode is None:
+                continue
+            assert mode.data_rate_bps >= previous_rate
+            previous_rate = mode.data_rate_bps
+
+    def test_best_mode_below_all_thresholds_is_none(self):
+        assert DOT11A.best_mode_for_snr(-10.0) is None
+
+    def test_best_mode_at_high_snr_is_fastest(self):
+        assert DOT11A.best_mode_for_snr(50.0).data_rate_bps == mbps(54)
+
+    def test_sensitivity_increases_with_rate(self):
+        sensitivities = [DOT11A.sensitivity_dbm(mode)
+                         for mode in DOT11A.modes]
+        assert sensitivities == sorted(sensitivities)
+
+
+class TestAirtime:
+    def test_airtime_includes_preamble(self):
+        mode = DOT11B.mode_for_rate(mbps(11))
+        airtime = DOT11B.frame_airtime(0, mode)
+        assert airtime == pytest.approx(DOT11B.preamble_time)
+
+    def test_airtime_scales_with_bits(self):
+        mode = DOT11B.mode_for_rate(mbps(1))
+        one = DOT11B.frame_airtime(8, mode)
+        two = DOT11B.frame_airtime(16, mode)
+        assert two - one == pytest.approx(8 / mbps(1))
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DOT11B.frame_airtime(-1, DOT11B.modes[0])
+
+
+class TestCatalogue:
+    def test_lookup_by_name(self):
+        assert get_standard("802.11b") is DOT11B
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_standard("802.11bogus")
+
+    def test_noise_floor_ballpark(self):
+        # 20 MHz, NF 7 dB -> about -94 dBm.
+        assert DOT11A.noise_floor_dbm == pytest.approx(-94.0, abs=1.5)

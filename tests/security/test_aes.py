@@ -1,0 +1,76 @@
+"""Tests for the from-scratch AES-128."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import SecurityError
+from repro.security.aes import Aes128, SBOX, expand_key
+
+
+class TestFips197:
+    """The appendix-C vector from FIPS-197."""
+
+    KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+    PLAIN = bytes.fromhex("00112233445566778899aabbccddeeff")
+    CIPHER = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+
+    def test_encrypt(self):
+        assert Aes128(self.KEY).encrypt_block(self.PLAIN) == self.CIPHER
+
+    def test_decrypt(self):
+        assert Aes128(self.KEY).decrypt_block(self.CIPHER) == self.PLAIN
+
+    def test_nist_sp800_38a_vector(self):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plain = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+        expected = bytes.fromhex("3ad77bb40d7a3660a89ecaf32466ef97")
+        assert Aes128(key).encrypt_block(plain) == expected
+
+
+class TestSbox:
+    def test_generated_sbox_known_entries(self):
+        assert SBOX[0x00] == 0x63
+        assert SBOX[0x01] == 0x7C
+        assert SBOX[0x53] == 0xED
+        assert SBOX[0xFF] == 0x16
+
+    def test_sbox_is_a_permutation(self):
+        assert sorted(SBOX) == list(range(256))
+
+
+class TestProperties:
+    @given(st.binary(min_size=16, max_size=16),
+           st.binary(min_size=16, max_size=16))
+    def test_encrypt_decrypt_identity(self, key, block):
+        aes = Aes128(key)
+        assert aes.decrypt_block(aes.encrypt_block(block)) == block
+
+    @given(st.binary(min_size=16, max_size=16))
+    def test_encryption_changes_the_block(self, block):
+        aes = Aes128(b"0123456789abcdef")
+        assert aes.encrypt_block(block) != block
+
+    def test_key_sensitivity(self):
+        block = bytes(16)
+        a = Aes128(bytes(16)).encrypt_block(block)
+        b = Aes128(bytes(15) + b"\x01").encrypt_block(block)
+        differing_bits = sum(bin(x ^ y).count("1") for x, y in zip(a, b))
+        assert differing_bits > 32  # avalanche
+
+
+class TestValidation:
+    def test_wrong_key_length_rejected(self):
+        with pytest.raises(SecurityError):
+            expand_key(b"short")
+
+    def test_wrong_block_length_rejected(self):
+        aes = Aes128(bytes(16))
+        with pytest.raises(SecurityError):
+            aes.encrypt_block(b"tiny")
+        with pytest.raises(SecurityError):
+            aes.decrypt_block(bytes(17))
+
+    def test_key_schedule_has_11_round_keys(self):
+        schedule = expand_key(bytes(16))
+        assert len(schedule) == 11
+        assert all(len(round_key) == 16 for round_key in schedule)

@@ -1,0 +1,117 @@
+"""Tests for CCMP (AES-CCM)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import IntegrityError, ReplayError, SecurityError
+from repro.security.ccmp import (
+    CCMP_OVERHEAD,
+    CcmpCipher,
+    ccm_decrypt,
+    ccm_encrypt,
+)
+
+TK = bytes(range(16))
+TA = b"\x02\x00\x00\x00\x00\x01"
+NONCE = bytes(13)
+
+
+def pair():
+    return CcmpCipher(TK, TA), CcmpCipher(TK, TA)
+
+
+class TestCcmMode:
+    @given(st.binary(max_size=200), st.binary(max_size=64))
+    @settings(max_examples=30)
+    def test_round_trip_with_aad(self, plaintext, aad):
+        sealed = ccm_encrypt(TK, NONCE, aad, plaintext)
+        assert ccm_decrypt(TK, NONCE, aad, sealed) == plaintext
+
+    def test_ciphertext_length(self):
+        sealed = ccm_encrypt(TK, NONCE, b"", b"x" * 37)
+        assert len(sealed) == 37 + 8  # payload + MIC
+
+    def test_aad_is_authenticated(self):
+        sealed = ccm_encrypt(TK, NONCE, b"header", b"payload")
+        with pytest.raises(IntegrityError):
+            ccm_decrypt(TK, NONCE, b"HEADER", sealed)
+
+    def test_ciphertext_tamper_detected(self):
+        sealed = bytearray(ccm_encrypt(TK, NONCE, b"", b"payload"))
+        sealed[0] ^= 0x01
+        with pytest.raises(IntegrityError):
+            ccm_decrypt(TK, NONCE, b"", bytes(sealed))
+
+    def test_mic_tamper_detected(self):
+        sealed = bytearray(ccm_encrypt(TK, NONCE, b"", b"payload"))
+        sealed[-1] ^= 0x01
+        with pytest.raises(IntegrityError):
+            ccm_decrypt(TK, NONCE, b"", bytes(sealed))
+
+    def test_nonce_binds_ciphertext(self):
+        other_nonce = bytes(12) + b"\x01"
+        sealed = ccm_encrypt(TK, NONCE, b"", b"payload")
+        with pytest.raises(IntegrityError):
+            ccm_decrypt(TK, other_nonce, b"", sealed)
+
+    def test_bad_nonce_length_rejected(self):
+        with pytest.raises(SecurityError):
+            ccm_encrypt(TK, bytes(11), b"", b"x")
+
+    def test_empty_plaintext(self):
+        sealed = ccm_encrypt(TK, NONCE, b"aad", b"")
+        assert ccm_decrypt(TK, NONCE, b"aad", sealed) == b""
+
+
+class TestCcmpCipher:
+    @given(st.binary(min_size=1, max_size=200))
+    @settings(max_examples=20)
+    def test_round_trip(self, plaintext):
+        tx, rx = pair()
+        assert rx.decrypt(tx.encrypt(plaintext)) == plaintext
+
+    def test_overhead(self):
+        tx, _ = pair()
+        assert len(tx.encrypt(b"x" * 64)) == 64 + CCMP_OVERHEAD
+
+    def test_pn_increments(self):
+        tx, _ = pair()
+        tx.encrypt(b"one")
+        tx.encrypt(b"two")
+        assert tx.pn == 2
+
+    def test_replay_rejected(self):
+        tx, rx = pair()
+        frame = tx.encrypt(b"data")
+        rx.decrypt(frame)
+        with pytest.raises(ReplayError):
+            rx.decrypt(frame)
+
+    def test_out_of_order_rejected(self):
+        tx, rx = pair()
+        first = tx.encrypt(b"one")
+        second = tx.encrypt(b"two")
+        rx.decrypt(second)
+        with pytest.raises(ReplayError):
+            rx.decrypt(first)
+
+    def test_aad_round_trip(self):
+        tx, rx = pair()
+        sealed = tx.encrypt(b"payload", aad=b"frame header")
+        assert rx.decrypt(sealed, aad=b"frame header") == b"payload"
+
+    def test_aad_mismatch_detected(self):
+        tx, rx = pair()
+        sealed = tx.encrypt(b"payload", aad=b"frame header")
+        with pytest.raises(IntegrityError):
+            rx.decrypt(sealed, aad=b"forged header")
+
+    def test_transmitter_address_binds(self):
+        tx = CcmpCipher(TK, TA)
+        rx = CcmpCipher(TK, b"\x02\x00\x00\x00\x00\x02")
+        with pytest.raises(IntegrityError):
+            rx.decrypt(tx.encrypt(b"data"))
+
+    def test_key_length_enforced(self):
+        with pytest.raises(SecurityError):
+            CcmpCipher(b"short", TA)

@@ -1,0 +1,129 @@
+"""Tests for PSK derivation, the 4-way handshake, and WPS."""
+
+import pytest
+
+from repro.core.errors import AuthenticationError, SecurityError
+from repro.security.handshake import (
+    FourWayHandshake,
+    WpsRegistrar,
+    derive_psk,
+    derive_ptk,
+    make_wps_pin,
+    prf,
+    wps_checksum_digit,
+    wps_pin_attack,
+)
+
+AA = b"\x02\x00\x00\x00\x00\x01"
+SPA = b"\x02\x00\x00\x00\x00\x02"
+
+
+class TestPskDerivation:
+    def test_known_vector(self):
+        """The canonical WPA-PSK test vector (passphrase 'password',
+        SSID 'IEEE')."""
+        psk = derive_psk("password", "IEEE")
+        assert psk.hex() == (
+            "f42c6fc52df0ebef9ebb4b90b38a5f902e83fe1b135a70e23aed762e9710a12e")
+
+    def test_deterministic(self):
+        assert derive_psk("correct horse", "ssid") == \
+            derive_psk("correct horse", "ssid")
+
+    def test_ssid_separates_keys(self):
+        assert derive_psk("same pass", "net-a") != \
+            derive_psk("same pass", "net-b")
+
+    def test_passphrase_length_enforced(self):
+        with pytest.raises(SecurityError):
+            derive_psk("short", "ssid")
+        with pytest.raises(SecurityError):
+            derive_psk("x" * 64, "ssid")
+
+
+class TestPtkDerivation:
+    PMK = derive_psk("a fine passphrase", "the-network")
+
+    def test_symmetric_in_address_order(self):
+        anonce, snonce = bytes(32), bytes(range(32))
+        a = derive_ptk(self.PMK, AA, SPA, anonce, snonce)
+        b = derive_ptk(self.PMK, SPA, AA, anonce, snonce)
+        # min/max ordering makes the PTK independent of argument order.
+        assert a == b
+
+    def test_nonces_change_the_ptk(self):
+        n1, n2 = bytes(32), bytes(range(32))
+        assert derive_ptk(self.PMK, AA, SPA, n1, n1) != \
+            derive_ptk(self.PMK, AA, SPA, n1, n2)
+
+    def test_key_roles_are_disjoint_slices(self):
+        keys = derive_ptk(self.PMK, AA, SPA, bytes(32), bytes(range(32)))
+        assert len(keys.kck) == 16
+        assert len(keys.kek) == 16
+        assert len(keys.tk) == 16
+        assert len(keys.mic_tx) == len(keys.mic_rx) == 8
+        assert keys.kck != keys.kek != keys.tk
+
+    def test_prf_length_and_determinism(self):
+        out = prf(b"key", "label", b"data", 48)
+        assert len(out) == 48
+        assert out == prf(b"key", "label", b"data", 48)
+        assert out[:16] == prf(b"key", "label", b"data", 16)
+
+
+class TestFourWayHandshake:
+    def test_matching_passphrases_agree_on_keys(self):
+        pmk = derive_psk("shared secret 1", "net")
+        handshake = FourWayHandshake(AA, SPA, pmk, pmk)
+        result = handshake.run()
+        assert result.messages_exchanged == 4
+        assert len(result.keys.tk) == 16
+        assert handshake.transcript == [
+            "M1: ANonce", "M2: SNonce + MIC", "M3: install + MIC",
+            "M4: confirm"]
+
+    def test_wrong_passphrase_detected_at_message_2(self):
+        good = derive_psk("the real passphrase", "net")
+        bad = derive_psk("a guessed passphrase", "net")
+        with pytest.raises(AuthenticationError, match="message 2"):
+            FourWayHandshake(AA, SPA, good, bad).run()
+
+    def test_fresh_nonces_give_fresh_keys(self):
+        import random
+        pmk = derive_psk("shared secret 2", "net")
+        first = FourWayHandshake(AA, SPA, pmk, pmk,
+                                 rng=random.Random(1)).run()
+        second = FourWayHandshake(AA, SPA, pmk, pmk,
+                                  rng=random.Random(2)).run()
+        assert first.keys.tk != second.keys.tk
+
+
+class TestWps:
+    def test_checksum_digit(self):
+        # A PIN must satisfy the Luhn-style rule; verify self-consistency.
+        for seven in (0, 1234567, 9999999, 5550123):
+            pin = make_wps_pin(seven)
+            assert pin // 10 == seven
+            assert pin % 10 == wps_checksum_digit(seven)
+
+    def test_registrar_rejects_invalid_pin(self):
+        with pytest.raises(SecurityError):
+            WpsRegistrar(12345678 if wps_checksum_digit(1234567) != 8
+                         else 12345670)
+
+    def test_attack_finds_the_pin(self):
+        pin = make_wps_pin(7_654_321)
+        registrar = WpsRegistrar(pin)
+        found, attempts = wps_pin_attack(registrar)
+        assert found == pin
+        assert attempts <= 11_000
+
+    def test_attack_bound_is_11000_worst_case(self):
+        worst = make_wps_pin(9_999_999)
+        _found, attempts = wps_pin_attack(WpsRegistrar(worst))
+        assert attempts <= 11_000
+
+    def test_split_pin_is_much_cheaper_than_monolithic(self):
+        """10^4 + 10^3 vs 10^7: the design flaw, quantified."""
+        _found, attempts = wps_pin_attack(WpsRegistrar(make_wps_pin(9_999_999)))
+        assert attempts * 900 < 10_000_000

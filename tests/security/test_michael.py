@@ -1,0 +1,70 @@
+"""Tests for the Michael MIC and its countermeasures."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import SecurityError
+from repro.security.michael import MichaelCountermeasures, michael
+
+KEY = bytes(range(8))
+
+
+class TestMichael:
+    def test_deterministic(self):
+        assert michael(KEY, b"data") == michael(KEY, b"data")
+
+    def test_mic_is_8_bytes(self):
+        assert len(michael(KEY, b"anything at all")) == 8
+
+    @given(st.binary(max_size=200), st.binary(max_size=200))
+    def test_data_sensitivity(self, a, b):
+        if a != b:
+            assert michael(KEY, a) != michael(KEY, b) or a == b
+
+    def test_key_sensitivity(self):
+        other = bytes(range(1, 9))
+        assert michael(KEY, b"payload") != michael(other, b"payload")
+
+    def test_single_bit_flip_changes_mic(self):
+        data = bytearray(b"some protected data")
+        original = michael(KEY, bytes(data))
+        data[3] ^= 0x01
+        assert michael(KEY, bytes(data)) != original
+
+    def test_empty_data(self):
+        assert len(michael(KEY, b"")) == 8
+
+    def test_wrong_key_size_rejected(self):
+        with pytest.raises(SecurityError):
+            michael(b"short", b"data")
+
+
+class TestCountermeasures:
+    def test_single_failure_no_trigger(self):
+        cm = MichaelCountermeasures()
+        assert not cm.mic_failure(now=0.0)
+        assert cm.usable(1.0)
+
+    def test_two_failures_within_window_trigger(self):
+        cm = MichaelCountermeasures(window=60.0, blackout=60.0)
+        cm.mic_failure(now=0.0)
+        assert cm.mic_failure(now=30.0)
+        assert not cm.usable(now=31.0)
+        assert cm.usable(now=91.0)
+        assert cm.invocations == 1
+
+    def test_failures_outside_window_do_not_trigger(self):
+        cm = MichaelCountermeasures(window=60.0)
+        cm.mic_failure(now=0.0)
+        assert not cm.mic_failure(now=120.0)
+
+    def test_rate_limit_one_probe_per_blackout(self):
+        """The property that bounds chopchop: each pair of probes costs
+        a full blackout."""
+        cm = MichaelCountermeasures(window=60.0, blackout=60.0)
+        cm.mic_failure(now=0.0)
+        cm.mic_failure(now=1.0)      # trigger
+        assert not cm.usable(now=30.0)
+        cm.mic_failure(now=61.0)
+        cm.mic_failure(now=62.0)     # trigger again
+        assert cm.invocations == 2

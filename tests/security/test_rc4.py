@@ -1,0 +1,57 @@
+"""Tests for the from-scratch RC4."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import SecurityError
+from repro.security.rc4 import crypt, keystream, ksa, prga
+
+
+class TestKnownVectors:
+    """Published RC4 test vectors."""
+
+    @pytest.mark.parametrize("key,plaintext,ciphertext_hex", [
+        (b"Key", b"Plaintext", "BBF316E8D940AF0AD3"),
+        (b"Wiki", b"pedia", "1021BF0420"),
+        (b"Secret", b"Attack at dawn", "45A01F645FC35B383552544B9BF5"),
+    ])
+    def test_vector(self, key, plaintext, ciphertext_hex):
+        assert crypt(key, plaintext).hex().upper() == ciphertext_hex
+
+
+class TestProperties:
+    @given(st.binary(min_size=1, max_size=32), st.binary(max_size=500))
+    def test_encrypt_decrypt_identity(self, key, data):
+        assert crypt(key, crypt(key, data)) == data
+
+    def test_ksa_is_a_permutation(self):
+        state = ksa(b"any key")
+        assert sorted(state) == list(range(256))
+
+    def test_keystream_deterministic(self):
+        assert keystream(b"k", 64) == keystream(b"k", 64)
+
+    def test_different_keys_different_streams(self):
+        assert keystream(b"key-one", 64) != keystream(b"key-two", 64)
+
+    def test_prga_does_not_mutate_input_state(self):
+        state = ksa(b"key")
+        snapshot = list(state)
+        generator = prga(state)
+        for _ in range(100):
+            next(generator)
+        assert state == snapshot
+
+
+class TestValidation:
+    def test_empty_key_rejected(self):
+        with pytest.raises(SecurityError):
+            ksa(b"")
+
+    def test_oversized_key_rejected(self):
+        with pytest.raises(SecurityError):
+            ksa(b"x" * 257)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(SecurityError):
+            keystream(b"k", -1)

@@ -1,0 +1,105 @@
+"""Tests for WEP shared-key authentication and its keystream flaw."""
+
+import pytest
+
+from repro.core.errors import AuthenticationError
+from repro.security.shared_key_auth import (
+    CHALLENGE_LEN,
+    KeystreamThief,
+    SharedKeyAuthenticator,
+    SharedKeyClient,
+    run_legitimate_exchange,
+)
+from repro.security.wep import WepCipher
+
+KEY = b"\x0a\x0b\x0c\x0d\x0e"
+
+
+def setup():
+    authenticator = SharedKeyAuthenticator(WepCipher(KEY))
+    client = SharedKeyClient(WepCipher(KEY))
+    return authenticator, client
+
+
+class TestHonestExchange:
+    def test_correct_key_authenticates(self):
+        authenticator, client = setup()
+        ok, _captured = run_legitimate_exchange(authenticator, client)
+        assert ok
+        assert authenticator.successes == 1
+
+    def test_wrong_key_fails(self):
+        authenticator, _ = setup()
+        impostor = SharedKeyClient(WepCipher(b"\x01\x02\x03\x04\x05"))
+        ok, _ = run_legitimate_exchange(authenticator, impostor)
+        assert not ok
+        assert authenticator.failures == 1
+
+    def test_challenges_are_fresh(self):
+        authenticator, _ = setup()
+        first = authenticator.issue_challenge(b"a")
+        second = authenticator.issue_challenge(b"b")
+        assert first != second
+        assert len(first) == CHALLENGE_LEN
+
+    def test_response_without_challenge_fails(self):
+        authenticator, client = setup()
+        response = client.answer(b"x" * CHALLENGE_LEN)
+        assert not authenticator.verify_response(b"never-asked", response)
+
+    def test_challenge_single_use(self):
+        authenticator, client = setup()
+        challenge = authenticator.issue_challenge(b"sta")
+        response = client.answer(challenge)
+        assert authenticator.verify_response(b"sta", response)
+        # Replaying the same response: the challenge was consumed.
+        assert not authenticator.verify_response(b"sta", response)
+
+
+class TestKeystreamTheft:
+    """The attack that killed shared-key authentication."""
+
+    def test_thief_authenticates_after_one_observation(self):
+        authenticator, client = setup()
+        _ok, captured = run_legitimate_exchange(authenticator, client)
+
+        thief = KeystreamThief()
+        thief.observe(captured)
+        assert thief.armed
+
+        # A brand-new challenge; the thief never saw the key.
+        challenge = authenticator.issue_challenge(b"thief")
+        forged = thief.answer(challenge)
+        assert authenticator.verify_response(b"thief", forged)
+
+    def test_thief_reuses_the_same_iv(self):
+        authenticator, client = setup()
+        _ok, captured = run_legitimate_exchange(authenticator, client)
+        thief = KeystreamThief()
+        thief.observe(captured)
+        challenge = authenticator.issue_challenge(b"thief")
+        forged = thief.answer(challenge)
+        assert forged[:4] == captured.wep_body[:4]  # replayed IV header
+
+    def test_unarmed_thief_cannot_answer(self):
+        thief = KeystreamThief()
+        with pytest.raises(AuthenticationError):
+            thief.answer(b"x" * CHALLENGE_LEN)
+
+    def test_stolen_keystream_is_the_real_keystream(self):
+        authenticator, client = setup()
+        _ok, captured = run_legitimate_exchange(authenticator, client)
+        thief = KeystreamThief()
+        thief.observe(captured)
+        from repro.security.rc4 import keystream
+        iv = captured.wep_body[:3]
+        real = keystream(iv + KEY, CHALLENGE_LEN + 4)
+        assert thief._keystream == real
+
+    def test_thief_limited_to_stolen_length(self):
+        authenticator, client = setup()
+        _ok, captured = run_legitimate_exchange(authenticator, client)
+        thief = KeystreamThief()
+        thief.observe(captured)
+        with pytest.raises(AuthenticationError):
+            thief.answer(b"y" * (CHALLENGE_LEN + 64))

@@ -1,0 +1,131 @@
+"""Tests for TKIP."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import IntegrityError, ReplayError, SecurityError
+from repro.security.tkip import (
+    TKIP_OVERHEAD,
+    TkipCipher,
+    phase1_mix,
+    phase2_mix,
+)
+
+TK = bytes(range(16))
+MIC_KEY = bytes(range(8))
+TA = b"\x02\x00\x00\x00\x00\x01"
+
+
+def pair():
+    tx = TkipCipher(TK, MIC_KEY, TA)
+    rx = TkipCipher(TK, MIC_KEY, TA)
+    return tx, rx
+
+
+class TestRoundTrip:
+    @given(st.binary(min_size=1, max_size=300))
+    @settings(max_examples=30)
+    def test_encrypt_decrypt(self, plaintext):
+        tx, rx = pair()
+        assert rx.decrypt(tx.encrypt(plaintext)) == plaintext
+
+    def test_overhead(self):
+        tx, _ = pair()
+        assert len(tx.encrypt(b"x" * 40)) == 40 + TKIP_OVERHEAD
+
+    def test_sequence_of_frames(self):
+        tx, rx = pair()
+        for index in range(20):
+            payload = bytes([index]) * 10
+            assert rx.decrypt(tx.encrypt(payload)) == payload
+
+
+class TestPerPacketKeys:
+    def test_consecutive_frames_use_different_keys(self):
+        tx, _ = pair()
+        first = tx.encrypt(b"same plaintext")
+        second = tx.encrypt(b"same plaintext")
+        # Different TSC -> different per-packet key -> different bytes.
+        assert first[6:] != second[6:]
+
+    def test_phase1_cached_across_low_tsc(self):
+        p1_a = phase1_mix(TK, TA, tsc_high=0)
+        p1_b = phase1_mix(TK, TA, tsc_high=0)
+        assert p1_a == p1_b
+        assert phase1_mix(TK, TA, tsc_high=1) != p1_a
+
+    def test_phase2_depends_on_low_tsc(self):
+        p1 = phase1_mix(TK, TA, 0)
+        assert phase2_mix(p1, TK, 1) != phase2_mix(p1, TK, 2)
+
+    def test_weak_iv_defence_bit_pattern(self):
+        """Byte 1 of the RC4 key is forced to (b0 | 0x20) & 0x7f, which
+        excludes the 0xFF second byte every FMS-weak IV requires."""
+        p1 = phase1_mix(TK, TA, 0)
+        for tsc_low in (0, 1, 0x1234, 0xFFFF):
+            key = phase2_mix(p1, TK, tsc_low)
+            assert key[1] != 0xFF
+            assert key[1] == (key[0] | 0x20) & 0x7F
+
+    def test_transmitter_address_binds_the_key(self):
+        other_ta = b"\x02\x00\x00\x00\x00\x02"
+        assert phase1_mix(TK, TA, 0) != phase1_mix(TK, other_ta, 0)
+
+
+class TestReplayProtection:
+    def test_replayed_frame_rejected(self):
+        tx, rx = pair()
+        frame = tx.encrypt(b"first")
+        rx.decrypt(frame)
+        with pytest.raises(ReplayError):
+            rx.decrypt(frame)
+
+    def test_reordered_frame_rejected(self):
+        tx, rx = pair()
+        first = tx.encrypt(b"one")
+        second = tx.encrypt(b"two")
+        rx.decrypt(second)
+        with pytest.raises(ReplayError):
+            rx.decrypt(first)
+
+
+class TestIntegrity:
+    def test_payload_tamper_detected(self):
+        tx, rx = pair()
+        frame = bytearray(tx.encrypt(b"protected payload"))
+        frame[10] ^= 0x01
+        with pytest.raises(IntegrityError):
+            rx.decrypt(bytes(frame))
+
+    def test_mic_failures_trigger_countermeasures(self):
+        tx, rx = pair()
+        # Craft two frames whose ICV passes but MIC fails: encrypt with a
+        # cipher holding a different MIC key.
+        evil_tx = TkipCipher(TK, bytes(8), TA)
+        for now, _ in zip((0.0, 1.0), range(2)):
+            frame = evil_tx.encrypt(b"forgery attempt")
+            with pytest.raises(IntegrityError, match="Michael"):
+                rx.decrypt(frame, now=now)
+        assert not rx.countermeasures.usable(2.0)
+        # While disabled, even good frames are refused.
+        with pytest.raises(SecurityError, match="countermeasures"):
+            rx.decrypt(tx.encrypt(b"legit"), now=3.0)
+
+    def test_wrong_temporal_key_fails_icv(self):
+        tx = TkipCipher(TK, MIC_KEY, TA)
+        rx = TkipCipher(bytes(16), MIC_KEY, TA)
+        with pytest.raises(IntegrityError):
+            rx.decrypt(tx.encrypt(b"data"))
+
+
+class TestValidation:
+    def test_key_lengths_enforced(self):
+        with pytest.raises(SecurityError):
+            TkipCipher(b"short", MIC_KEY, TA)
+        with pytest.raises(SecurityError):
+            TkipCipher(TK, b"short", TA)
+
+    def test_short_body_rejected(self):
+        _, rx = pair()
+        with pytest.raises(SecurityError):
+            rx.decrypt(b"tiny")

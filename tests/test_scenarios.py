@@ -1,0 +1,84 @@
+"""Tests for the scenario builders."""
+
+import pytest
+
+from repro import scenarios
+from repro.core import Simulator
+from repro.core.errors import SimulationError
+from repro.phy.standards import DOT11A, DOT11B
+
+
+class TestInfrastructureBuilder:
+    def test_builds_and_associates(self, sim):
+        bss = scenarios.build_infrastructure_bss(sim, station_count=3)
+        assert len(bss.stations) == 3
+        assert all(sta.associated for sta in bss.stations)
+        assert bss.ap.station_count == 3
+
+    def test_standard_is_configurable(self, sim):
+        bss = scenarios.build_infrastructure_bss(sim, station_count=1,
+                                                 standard=DOT11A)
+        assert bss.ap.radio.standard is DOT11A
+        assert bss.stations[0].radio.standard is DOT11A
+
+    def test_zero_stations(self, sim):
+        bss = scenarios.build_infrastructure_bss(sim, station_count=0)
+        assert bss.stations == []
+
+    def test_no_associate_option(self, sim):
+        bss = scenarios.build_infrastructure_bss(sim, station_count=2,
+                                                 associate=False)
+        assert not any(sta.associated for sta in bss.stations)
+
+    def test_association_timeout_raises(self, sim):
+        bss = scenarios.build_infrastructure_bss(sim, station_count=1,
+                                                 radius_m=100_000.0,
+                                                 associate=False)
+        with pytest.raises(SimulationError, match="failed to associate"):
+            scenarios.associate_all(sim, bss.stations, timeout=1.0)
+
+
+class TestAdhocBuilder:
+    def test_peers_share_one_bssid(self, sim):
+        net = scenarios.build_adhoc_network(sim, station_count=4)
+        bssids = {sta.mac.bssid for sta in net.stations}
+        assert bssids == {net.ibss.bssid}
+        assert all(sta.adhoc for sta in net.stations)
+
+    def test_traffic_flows(self, sim):
+        net = scenarios.build_adhoc_network(sim, station_count=2,
+                                            standard=DOT11B)
+        inbox = []
+        net.stations[1].on_receive(lambda s, p, m: inbox.append(p))
+        net.stations[0].send(net.stations[1].address, b"peer to peer")
+        sim.run(until=1.0)
+        assert inbox == [b"peer to peer"]
+
+
+class TestHiddenTerminalBuilder:
+    def test_senders_are_mutually_hidden(self, sim):
+        scenario = scenarios.build_hidden_terminal(sim)
+        a_to_b = scenario.medium.link_rx_power_dbm(
+            scenario.sender_a.radio, scenario.sender_b.radio)
+        assert a_to_b == float("-inf")
+
+    def test_both_senders_reach_the_receiver(self, sim):
+        scenario = scenarios.build_hidden_terminal(sim)
+        for sender in (scenario.sender_a, scenario.sender_b):
+            power = scenario.medium.link_rx_power_dbm(
+                sender.radio, scenario.receiver.radio)
+            assert power > -80.0
+
+
+class TestEssBuilder:
+    def test_aps_in_a_line_sharing_the_ds(self, sim):
+        scenario = scenarios.build_ess(sim, ap_count=3, spacing_m=50.0)
+        positions = [ap.position.x for ap in scenario.aps]
+        assert positions == [0.0, 50.0, 100.0]
+        assert all(ap.ds is scenario.ess.ds for ap in scenario.aps)
+
+    def test_beacons_are_staggered(self, sim):
+        scenario = scenarios.build_ess(sim, ap_count=2)
+        sim.run(until=0.5)
+        beacons = [ap.ap_counters.get("beacons") for ap in scenario.aps]
+        assert all(count > 0 for count in beacons)

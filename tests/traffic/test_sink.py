@@ -1,0 +1,90 @@
+"""Tests for the traffic sink."""
+
+import math
+
+import pytest
+
+from repro.traffic.generators import encode_packet
+from repro.traffic.sink import TrafficSink
+
+
+class TestTrafficSink:
+    def test_counts_and_goodput(self, sim):
+        sink = TrafficSink(sim)
+        for sequence in range(10):
+            sim.schedule(0.1 * sequence, sink.consume,
+                         encode_packet(1, sequence, 0.1 * sequence - 0.01,
+                                       200))
+        sim.run()
+        flow = sink.flow(1)
+        assert flow.received == 10
+        assert flow.bytes_received == 2000
+        assert flow.lost == 0
+        # 2000 bytes over 0.9 s of reception span.
+        assert flow.goodput_bps() == pytest.approx(2000 * 8 / 0.9)
+
+    def test_delay_measurement(self, sim):
+        sink = TrafficSink(sim)
+        sim.schedule(1.0, sink.consume, encode_packet(1, 0, 0.75, 100))
+        sim.run()
+        assert sink.flow(1).delay.mean == pytest.approx(0.25)
+
+    def test_loss_inferred_from_gaps(self, sim):
+        sink = TrafficSink(sim)
+        for sequence in (0, 1, 4, 5):  # 2 and 3 lost
+            sim.schedule(0.1 * sequence, sink.consume,
+                         encode_packet(1, sequence, 0.0, 100))
+        sim.run()
+        flow = sink.flow(1)
+        assert flow.expected == 6
+        assert flow.lost == 2
+        assert flow.loss_ratio == pytest.approx(2 / 6)
+
+    def test_out_of_order_detected(self, sim):
+        sink = TrafficSink(sim)
+        for at, sequence in ((0.1, 0), (0.2, 2), (0.3, 1)):
+            sim.schedule(at, sink.consume, encode_packet(1, sequence, 0.0, 100))
+        sim.run()
+        assert sink.flow(1).out_of_order == 1
+
+    def test_jitter_zero_for_constant_delay(self, sim):
+        sink = TrafficSink(sim)
+        for sequence in range(5):
+            sim.schedule(0.1 * sequence + 0.05, sink.consume,
+                         encode_packet(1, sequence, 0.1 * sequence, 100))
+        sim.run()
+        assert sink.flow(1).jitter == pytest.approx(0.0, abs=1e-12)
+
+    def test_jitter_positive_for_variable_delay(self, sim):
+        sink = TrafficSink(sim)
+        delays = [0.01, 0.05, 0.02, 0.08]
+        for sequence, delay in enumerate(delays):
+            sim.schedule(0.1 * sequence + delay, sink.consume,
+                         encode_packet(1, sequence, 0.1 * sequence, 100))
+        sim.run()
+        assert sink.flow(1).jitter > 0.0
+
+    def test_flows_separated(self, sim):
+        sink = TrafficSink(sim)
+        sim.schedule(0.1, sink.consume, encode_packet(1, 0, 0.0, 100))
+        sim.schedule(0.2, sink.consume, encode_packet(2, 0, 0.0, 300))
+        sim.run()
+        assert sink.flow(1).bytes_received == 100
+        assert sink.flow(2).bytes_received == 300
+        assert sink.total_bytes == 400
+
+    def test_foreign_payloads_counted_not_crashed(self, sim):
+        sink = TrafficSink(sim)
+        assert not sink.consume(b"random junk that is long enough")
+        assert sink.foreign_packets == 1
+
+    def test_receive_hook_adapter(self, sim):
+        sink = TrafficSink(sim)
+        sink("source", encode_packet(1, 0, 0.0, 100), {"snr": 20})
+        assert sink.total_received == 1
+
+    def test_empty_flow_statistics(self, sim):
+        sink = TrafficSink(sim)
+        assert sink.total_received == 0
+        assert math.isnan(sink.mean_delay())
+        assert sink.flow(99) is None
