@@ -1,0 +1,234 @@
+"""Macro-scenario definitions for the performance harness.
+
+Each scenario is a function ``(scale: float) -> dict`` that builds a
+representative workload, runs it, and returns::
+
+    {
+        "work": <int>,          # events executed (or frames audited)
+        "work_unit": "events",  # what `work` counts
+        "sim_seconds": <float>, # simulated horizon (0 for non-DES work)
+        "stats": {...},         # seed-deterministic outcome fingerprint
+    }
+
+``scale`` stretches the workload (1.0 = the reference size); the
+``--check`` mode runs at a reduced scale so CI stays fast.  ``stats``
+must be a pure function of the seed and the scenario — the harness (and
+``pytest -m perf``) assert that repeated runs and cached-vs-uncached
+runs produce identical values, which is the determinism contract of the
+fast-path core.
+
+Timing happens in :mod:`tools.run_bench`, around the ``run`` phase only
+(topology construction is excluded).  Tracing is explicitly disabled —
+the zero-overhead path — because a perf benchmark measures the
+simulator's production posture; the trace-cost delta is covered by unit
+benchmarks, not here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.core import Position, Simulator
+from repro.core.trace import TraceLog
+from repro.mac.addresses import allocate_address, reset_allocator
+from repro.mac.dcf import DcfConfig, DcfMac, MacListener
+from repro.mac.rate_adapt import fixed_rate_factory
+from repro.mobility.models import LinearMobility
+from repro.net.roaming import RoamingPolicy
+from repro.net.station import Station
+from repro.phy.channel import Medium
+from repro.phy.propagation import FixedLoss
+from repro.phy.standards import DOT11B
+from repro.phy.transceiver import Radio
+from repro.security.wep import WepCipher, crack_wep
+from repro import scenarios
+from repro.traffic.generators import CbrSource
+from repro.traffic.sink import TrafficSink
+
+
+class _Refill(MacListener):
+    """Keeps a MAC's queue non-empty: the saturation workload."""
+
+    def __init__(self, mac: DcfMac, destination: Any, payload: bytes):
+        self.mac = mac
+        self.destination = destination
+        self.payload = payload
+
+    def prime(self, depth: int = 4) -> None:
+        for _ in range(depth):
+            self.mac.send(self.destination, self.payload)
+
+    def mac_tx_complete(self, msdu: Any, success: bool) -> None:
+        self.mac.send(self.destination, self.payload)
+
+
+class _Count(MacListener):
+    def __init__(self) -> None:
+        self.bytes = 0
+        self.frames = 0
+
+    def mac_receive(self, source: Any, destination: Any, payload: bytes,
+                    meta: Dict[str, Any]) -> None:
+        self.bytes += len(payload)
+        self.frames += 1
+
+
+def _perf_simulator(seed: int) -> Simulator:
+    """A simulator in benchmark posture: tracing fully disabled."""
+    return Simulator(seed=seed, trace=TraceLog(enabled=False))
+
+
+def dcf_saturation(scale: float = 1.0, *, seed: int = 5,
+                   stations: int = 20,
+                   cache_links: bool = True) -> Dict[str, Any]:
+    """20 saturated stations sending 800-byte MSDUs to one receiver.
+
+    The headline macro-benchmark: dominated by arrival fan-out, CCA
+    edges, slot-by-slot backoff, and frame delivery decisions.
+    """
+    reset_allocator()
+    sim = _perf_simulator(seed)
+    medium = Medium(sim, FixedLoss(50.0), cache_links=cache_links)
+    config = DcfConfig()
+    factory = fixed_rate_factory("CCK-11")
+    receiver_radio = Radio("rx", medium, DOT11B, Position(0, 0, 0))
+    receiver = DcfMac(sim, receiver_radio, allocate_address(), config=config,
+                      rate_factory=factory)
+    counter = _Count()
+    receiver.listener = counter
+    payload = bytes(800)
+    for index in range(stations):
+        radio = Radio(f"tx{index}", medium, DOT11B,
+                      Position(1.0 + index * 0.1, 0, 0))
+        mac = DcfMac(sim, radio, allocate_address(), config=config,
+                     rate_factory=factory)
+        refill = _Refill(mac, receiver.address, payload)
+        mac.listener = refill
+        refill.prime()
+    horizon = 0.4 + 1.0 * scale
+    sim.run(until=horizon)
+    return {
+        "work": sim.events_executed,
+        "work_unit": "events",
+        "sim_seconds": horizon,
+        "stats": {
+            "rx_bytes": counter.bytes,
+            "rx_frames": counter.frames,
+            "events": sim.events_executed,
+            "link_cache_hits": medium.links.hits,
+            "link_cache_misses": medium.links.misses,
+        },
+    }
+
+
+def hidden_terminal(scale: float = 1.0, *, seed: int = 11) -> Dict[str, Any]:
+    """Two mutually hidden saturated senders with RTS/CTS enabled.
+
+    Exercises the collision/RTS reservation machinery and the disc
+    propagation model's zero-gain fast path.
+    """
+    reset_allocator()
+    sim = _perf_simulator(seed)
+    config = DcfConfig(rts_threshold_bytes=400)
+    scenario = scenarios.build_hidden_terminal(sim, mac_config=config)
+    counter = _Count()
+
+    def _count(source: Any, payload: bytes, meta: Dict[str, Any]) -> None:
+        counter.bytes += len(payload)
+        counter.frames += 1
+
+    scenario.receiver.on_receive(_count)
+    payload = bytes(1000)
+    destination = scenario.receiver.address
+    for sender in (scenario.sender_a, scenario.sender_b):
+        mac = sender.mac
+        # Stations route tx-complete through the device listener; hook
+        # the refill at the device layer to keep the queue saturated.
+        sender.on_tx_complete(
+            lambda msdu, ok, _m=mac: _m.send(destination, payload))
+        for _ in range(4):
+            mac.send(destination, payload)
+    horizon = 2.0 * scale
+    sim.run(until=horizon)
+    return {
+        "work": sim.events_executed,
+        "work_unit": "events",
+        "sim_seconds": horizon,
+        "stats": {
+            "rx_bytes": counter.bytes,
+            "rx_frames": counter.frames,
+            "events": sim.events_executed,
+        },
+    }
+
+
+def roaming_ess(scale: float = 1.0, *, seed: int = 7) -> Dict[str, Any]:
+    """A station walks a 3-AP corridor with a downlink CBR flow.
+
+    Exercises scanning/association, the DS location table, mobility
+    ticks and — critically — LinkCache invalidation on every move.
+    """
+    reset_allocator()
+    sim = _perf_simulator(seed)
+    corridor = scenarios.build_ess(sim, ap_count=3, spacing_m=80.0)
+    walker = Station(sim, corridor.medium, corridor.aps[0].radio.standard,
+                     Position(2, 0, 0), name="walker",
+                     roaming_policy=RoamingPolicy(
+                         low_snr_threshold_db=28.0, hysteresis_db=3.0,
+                         min_dwell=0.5))
+    walker.associate("repro-ess")
+    scenarios.associate_all(sim, [walker], timeout=5.0)
+    sink = TrafficSink(sim)
+    walker.on_receive(sink)
+    from repro.mac.addresses import MacAddress
+    server = MacAddress.from_string("00:10:20:30:40:50")
+    CbrSource(
+        sim,
+        lambda p: (corridor.ess.ds.inject_from_portal(server, walker.address,
+                                                      p), True)[1],
+        packet_bytes=800, interval=0.02)
+    LinearMobility(sim, walker, Position(170, 0, 0), speed_mps=8.0,
+                   tick=0.1).start()
+    horizon = sim.now + 20.0 * scale
+    sim.run(until=horizon)
+    return {
+        "work": sim.events_executed,
+        "work_unit": "events",
+        "sim_seconds": horizon,
+        "stats": {
+            "rx_packets": sink.total_received,
+            "roams": walker.sta_counters.get("roams"),
+            "events": sim.events_executed,
+        },
+    }
+
+
+def wep_audit(scale: float = 1.0, *, seed: int = 0) -> Dict[str, Any]:
+    """FMS key recovery against a live WEP cipher.
+
+    The security-suite macro-benchmark: KSA/PRGA block crypt and the
+    arithmetic weak-IV traffic oracle.  ``scale`` bounds the sniffing
+    budget; the 40-bit key falls out within the reference budget.
+    """
+    budget = int((1 << 23) * max(scale, 0.25))
+    key = b"\x13\x37\xbe\xef\x42"
+    recovered, frames = crack_wep(WepCipher(key), max_frames=budget,
+                                  check_every=1 << 21)
+    return {
+        "work": frames,
+        "work_unit": "frames",
+        "sim_seconds": 0.0,
+        "stats": {
+            "recovered": recovered == key,
+            "frames_needed": frames,
+        },
+    }
+
+
+#: name -> scenario callable; the harness and the perf tests iterate this.
+MACROS: Dict[str, Callable[..., Dict[str, Any]]] = {
+    "dcf_saturation": dcf_saturation,
+    "hidden_terminal": hidden_terminal,
+    "roaming_ess": roaming_ess,
+    "wep_audit": wep_audit,
+}

@@ -1,0 +1,64 @@
+"""Opt-in perf tier: ``pytest -m perf``.
+
+Two jobs:
+
+* assert the determinism contract of the fast-path core — same seed,
+  same stats, cached or uncached — at reduced scale, and
+* run the ``tools/run_bench.py --check`` regression gate against the
+  committed baseline (fails on a >25% work/sec regression).
+
+These are deselected by default (see pytest.ini) so tier-1 stays fast;
+CI opts in with ``pytest -m perf benchmarks/perf``.
+"""
+
+import pathlib
+import sys
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from perf.macro import MACROS, dcf_saturation  # noqa: E402
+
+pytestmark = pytest.mark.perf
+
+#: Reduced scale so the whole perf tier runs in a few seconds.
+SCALE = 0.25
+
+
+@pytest.mark.parametrize("name", sorted(MACROS))
+def test_macro_is_deterministic(name):
+    """Same seed, same workload -> bit-identical outcome stats."""
+    first = MACROS[name](SCALE)
+    second = MACROS[name](SCALE)
+    assert first["stats"] == second["stats"]
+    assert first["work"] == second["work"]
+
+
+def test_cached_and_uncached_link_budgets_agree():
+    """The LinkCache is a pure memoization: disabling it must not change
+    a single delivered byte or executed event."""
+    cached = dcf_saturation(SCALE, cache_links=True)
+    uncached = dcf_saturation(SCALE, cache_links=False)
+    cached_stats = {k: v for k, v in cached["stats"].items()
+                    if not k.startswith("link_cache")}
+    uncached_stats = {k: v for k, v in uncached["stats"].items()
+                      if not k.startswith("link_cache")}
+    assert cached_stats == uncached_stats
+    # And the cache actually worked: hits dominate once the pairs warm up.
+    assert cached["stats"]["link_cache_hits"] > \
+        10 * cached["stats"]["link_cache_misses"]
+
+
+def test_no_regression_vs_committed_baseline(capsys):
+    """The run_bench --check gate, wired into the test tier."""
+    tools_dir = pathlib.Path(__file__).resolve().parent.parent.parent / "tools"
+    sys.path.insert(0, str(tools_dir))
+    try:
+        import run_bench
+    finally:
+        sys.path.pop(0)
+    exit_code = run_bench.run_check(sorted(MACROS), repeats=3,
+                                    update_baseline=False)
+    output = capsys.readouterr().out
+    assert exit_code == 0, f"perf regression detected:\n{output}"

@@ -13,6 +13,18 @@ The kernel is a deterministic event-heap executor:
 Protocol code in this library is written in *callback style*: components
 schedule plain callables.  That keeps the kernel tiny, easy to reason
 about, and fast enough to run thousands of stations on a laptop.
+
+Hot-path notes: the heap stores tuples rather than bare handles so
+ordering uses C-level tuple comparison instead of
+``EventHandle.__lt__`` (the single biggest cost in large runs);
+:attr:`Simulator.pending_events` is a counter maintained by
+``schedule``/``cancel``/``run`` instead of an O(N) heap scan; and
+fire-and-forget callers (the medium's per-receiver arrival fan-out —
+the most-scheduled events in any run) can use
+:meth:`Simulator.schedule_fast_at` to skip the
+:class:`EventHandle` allocation entirely.  Heap entries are therefore
+either ``(time, seq, handle)`` or ``(time, seq, None, callback,
+args)``; ties never compare past ``seq``, which is unique.
 """
 
 from __future__ import annotations
@@ -26,23 +38,34 @@ from .errors import SchedulingError, SimulationError
 from .rng import RngRegistry
 from .trace import TraceLog
 
+_INF = math.inf
+_heappush = heapq.heappush
+
 
 class EventHandle:
     """A scheduled event that can be cancelled before it fires."""
 
-    __slots__ = ("time", "seq", "callback", "args", "_cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "_cancelled", "_fired",
+                 "_sim")
 
     def __init__(self, time: float, seq: int,
-                 callback: Callable[..., None], args: Tuple[Any, ...]):
+                 callback: Callable[..., None], args: Tuple[Any, ...],
+                 sim: Optional["Simulator"] = None):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self._cancelled = False
+        self._fired = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing; safe to call multiple times."""
-        self._cancelled = True
+        if not self._cancelled and not self._fired:
+            self._cancelled = True
+            sim = self._sim
+            if sim is not None:
+                sim._cancelled_events += 1
         # Drop references so cancelled events don't pin objects alive
         # while they sit in the heap awaiting lazy deletion.
         self.callback = _noop
@@ -54,7 +77,7 @@ class EventHandle:
 
     @property
     def pending(self) -> bool:
-        return not self._cancelled
+        return not self._cancelled and not self._fired
 
     def __lt__(self, other: "EventHandle") -> bool:
         if self.time != other.time:
@@ -62,7 +85,8 @@ class EventHandle:
         return self.seq < other.seq
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "cancelled" if self._cancelled else "pending"
+        state = ("cancelled" if self._cancelled
+                 else "fired" if self._fired else "pending")
         return f"<EventHandle t={self.time:.9f} seq={self.seq} {state}>"
 
 
@@ -84,11 +108,14 @@ class Simulator:
 
     def __init__(self, seed: int = 0, trace: Optional[TraceLog] = None):
         self._now = 0.0
-        self._heap: List[EventHandle] = []
+        self._heap: List[Tuple[Any, ...]] = []
         self._seq = itertools.count()
+        self._next_seq = self._seq.__next__
         self._running = False
         self._stopped = False
         self._events_executed = 0
+        self._scheduled = 0
+        self._cancelled_events = 0
         self.rng = RngRegistry(seed)
         self.trace = trace if trace is not None else TraceLog()
 
@@ -106,36 +133,83 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of not-yet-cancelled events waiting in the heap."""
-        return sum(1 for event in self._heap if event.pending)
+        """Number of not-yet-cancelled events waiting in the heap (O(1)).
+
+        Derived from three monotone counters (scheduled, executed,
+        cancelled) so neither the run loop nor ``cancel`` pays a
+        per-event decrement for a diagnostics-only figure.
+        """
+        return self._scheduled - self._events_executed - self._cancelled_events
 
     # --- scheduling ------------------------------------------------------
 
     def schedule(self, delay: float, callback: Callable[..., None],
                  *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        # The chained comparison is False for NaN, so one expression
+        # covers the negative, NaN and infinity rejections.
+        if 0.0 <= delay < _INF:
+            time = self._now + delay
+            seq = self._next_seq()
+            event = EventHandle(time, seq, callback, args, self)
+            self._scheduled += 1
+            _heappush(self._heap, (time, seq, event))
+            return event
         if delay < 0:
             raise SchedulingError(
                 f"cannot schedule {delay!r} s in the past (now={self._now!r})")
-        if math.isnan(delay) or math.isinf(delay):
-            raise SchedulingError(f"invalid delay: {delay!r}")
-        return self.schedule_at(self._now + delay, callback, *args)
+        raise SchedulingError(f"invalid delay: {delay!r}")
 
     def schedule_at(self, time: float, callback: Callable[..., None],
                     *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` at absolute time ``time``."""
+        if self._now <= time < _INF:
+            seq = self._next_seq()
+            event = EventHandle(time, seq, callback, args, self)
+            self._scheduled += 1
+            _heappush(self._heap, (time, seq, event))
+            return event
         if time < self._now:
             raise SchedulingError(
                 f"cannot schedule at t={time!r} before now={self._now!r}")
-        if math.isnan(time) or math.isinf(time):
-            raise SchedulingError(f"invalid time: {time!r}")
-        event = EventHandle(time, next(self._seq), callback, args)
-        heapq.heappush(self._heap, event)
-        return event
+        raise SchedulingError(f"invalid time: {time!r}")
 
     def call_now(self, callback: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule a callback for the current instant (after current event)."""
         return self.schedule(0.0, callback, *args)
+
+    # --- fire-and-forget fast path -----------------------------------------
+
+    def schedule_fast(self, delay: float, callback: Callable[..., None],
+                      *args: Any) -> None:
+        """Like :meth:`schedule` but returns no handle (not cancellable).
+
+        Skips the :class:`EventHandle` allocation; use only for events
+        that are never cancelled (frame arrival fan-out, TX-complete).
+        Ordering relative to handle-based events is identical — both
+        share the same time/sequence heap.
+        """
+        if not 0.0 <= delay < _INF:
+            if delay < 0:
+                raise SchedulingError(
+                    f"cannot schedule {delay!r} s in the past "
+                    f"(now={self._now!r})")
+            raise SchedulingError(f"invalid delay: {delay!r}")
+        self._scheduled += 1
+        _heappush(self._heap, (self._now + delay, self._next_seq(),
+                               None, callback, args))
+
+    def schedule_fast_at(self, time: float, callback: Callable[..., None],
+                         *args: Any) -> None:
+        """Absolute-time variant of :meth:`schedule_fast`."""
+        if not self._now <= time < _INF:
+            if time < self._now:
+                raise SchedulingError(
+                    f"cannot schedule at t={time!r} before now={self._now!r}")
+            raise SchedulingError(f"invalid time: {time!r}")
+        self._scheduled += 1
+        _heappush(self._heap, (time, self._next_seq(),
+                               None, callback, args))
 
     # --- execution --------------------------------------------------------
 
@@ -153,20 +227,57 @@ class Simulator:
             raise SimulationError("run() called re-entrantly")
         self._running = True
         self._stopped = False
-        budget = max_events if max_events is not None else math.inf
+        heap = self._heap
+        heappop = heapq.heappop
+        heappush = heapq.heappush
         try:
-            while self._heap and not self._stopped and budget > 0:
-                event = self._heap[0]
-                if event.cancelled:
-                    heapq.heappop(self._heap)
-                    continue
-                if until is not None and event.time > until:
-                    break
-                heapq.heappop(self._heap)
-                self._now = event.time
-                self._events_executed += 1
-                budget -= 1
-                event.callback(*event.args)
+            if max_events is None and until is not None:
+                # Dominant case (run-until): no budget bookkeeping.
+                while heap and not self._stopped:
+                    entry = heappop(heap)
+                    event = entry[2]
+                    if event is None:
+                        callback = entry[3]
+                        args = entry[4]
+                    elif event._cancelled:
+                        continue
+                    else:
+                        event._fired = True
+                        callback = event.callback
+                        args = event.args
+                    time = entry[0]
+                    if time > until:
+                        if event is not None:
+                            event._fired = False
+                        heappush(heap, entry)
+                        break
+                    self._now = time
+                    self._events_executed += 1
+                    callback(*args)
+            else:
+                budget = max_events if max_events is not None else _INF
+                while heap and not self._stopped and budget > 0:
+                    entry = heappop(heap)
+                    event = entry[2]
+                    if event is None:
+                        callback = entry[3]
+                        args = entry[4]
+                    elif event._cancelled:
+                        continue
+                    else:
+                        event._fired = True
+                        callback = event.callback
+                        args = event.args
+                    time = entry[0]
+                    if until is not None and time > until:
+                        if event is not None:
+                            event._fired = False
+                        heappush(heap, entry)
+                        break
+                    self._now = time
+                    self._events_executed += 1
+                    budget -= 1
+                    callback(*args)
             if until is not None and not self._stopped and self._now < until:
                 self._now = until
         finally:
@@ -179,9 +290,14 @@ class Simulator:
 
     def clear(self) -> None:
         """Cancel every pending event (used between experiment phases)."""
-        for event in self._heap:
-            event.cancel()
+        for entry in self._heap:
+            event = entry[2]
+            if event is not None:
+                event.cancel()
         self._heap.clear()
+        # Re-baseline so pending_events reads zero (raw fire-and-forget
+        # entries were dropped without passing through cancel()).
+        self._scheduled = self._events_executed + self._cancelled_events
 
 
 class PeriodicTask:

@@ -14,9 +14,16 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Position:
-    """An immutable point in meters."""
+    """An immutable point in meters.
+
+    Immutability is load-bearing for performance: the PHY's
+    :class:`~repro.phy.channel.LinkCache` validates cached link budgets
+    by position *identity*, so "moving" a node must always assign a new
+    ``Position`` (as :meth:`translated` / :meth:`toward` and every
+    mobility model do) rather than mutating coordinates in place.
+    """
 
     x: float = 0.0
     y: float = 0.0

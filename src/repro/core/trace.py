@@ -5,15 +5,25 @@ ground truth for debugging MAC interleavings ("who held the medium at
 t=1.2034?") and they back several tests that assert on protocol event
 *ordering* rather than only on aggregate counters.
 
-A :class:`TraceLog` is a bounded, filterable, in-memory list of
+A :class:`TraceLog` is a bounded, filterable, in-memory collection of
 :class:`TraceRecord` entries.  It is intentionally simple — no file I/O
 in the hot path; callers can dump to text after the run.
+
+Performance contract: when tracing is disabled, or an event type is
+filtered out by :meth:`TraceLog.enable_only`, recording must not
+allocate.  :meth:`TraceLog.record` constructs the :class:`TraceRecord`
+lazily (only once the event passes the enable mask), and hot call sites
+can pre-check :meth:`TraceLog.wants` to skip even building the keyword
+detail dict.  Retention uses ``collections.deque(maxlen=...)`` so
+eviction at capacity is O(1) per record instead of a slice-delete.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import (Any, Callable, Deque, Dict, FrozenSet, Iterable,
+                    Iterator, List, Optional)
 
 
 @dataclass(frozen=True)
@@ -48,20 +58,58 @@ class TraceLog:
     """
 
     def __init__(self, capacity: Optional[int] = 100_000, enabled: bool = True):
-        self._records: List[TraceRecord] = []
-        self._capacity = capacity
+        self._records: Deque[TraceRecord] = deque(maxlen=capacity)
         self._dropped = 0
         self.enabled = enabled
+        #: ``None`` means every event type is recorded; otherwise only
+        #: event names in the mask are kept.
+        self._event_mask: Optional[FrozenSet[str]] = None
+
+    @property
+    def capacity(self) -> Optional[int]:
+        """Retention bound; the deque's ``maxlen`` is the single source
+        of truth."""
+        return self._records.maxlen
+
+    # --- enable mask -------------------------------------------------------
+
+    def enable_only(self, *events: str) -> None:
+        """Record only the named event types (per-event-type enable mask)."""
+        self._event_mask = frozenset(events)
+
+    def enable_all_events(self) -> None:
+        """Drop the event mask: record every event type again."""
+        self._event_mask = None
+
+    @property
+    def event_mask(self) -> Optional[FrozenSet[str]]:
+        return self._event_mask
+
+    def wants(self, event: str) -> bool:
+        """Cheap hot-path pre-check: would :meth:`record` keep ``event``?
+
+        Call sites with expensive detail kwargs should guard on this so a
+        disabled or filtered log costs neither the detail dict nor the
+        record allocation.
+        """
+        if not self.enabled:
+            return False
+        mask = self._event_mask
+        return mask is None or event in mask
+
+    # --- recording ---------------------------------------------------------
 
     def record(self, time: float, source: str, event: str, **detail: Any) -> None:
-        """Append a trace record (no-op when tracing is disabled)."""
+        """Append a trace record (no-op when disabled or filtered)."""
         if not self.enabled:
             return
-        self._records.append(TraceRecord(time, source, event, detail))
-        if self._capacity is not None and len(self._records) > self._capacity:
-            overflow = len(self._records) - self._capacity
-            del self._records[:overflow]
-            self._dropped += overflow
+        mask = self._event_mask
+        if mask is not None and event not in mask:
+            return
+        records = self._records
+        if records.maxlen is not None and len(records) == records.maxlen:
+            self._dropped += 1
+        records.append(TraceRecord(time, source, event, detail))
 
     def __len__(self) -> int:
         return len(self._records)
@@ -98,5 +146,7 @@ class TraceLog:
 
     def format(self, limit: Optional[int] = None) -> str:
         """Render the (tail of the) trace as text."""
-        records = self._records if limit is None else self._records[-limit:]
+        records: Iterable[TraceRecord] = self._records
+        if limit is not None:
+            records = list(self._records)[-limit:]
         return "\n".join(record.format() for record in records)

@@ -33,8 +33,11 @@ from ..core.engine import EventHandle, Simulator
 from ..core.errors import ConfigurationError, SimulationError
 from ..core.stats import Counter
 from ..phy.standards import PhyMode
-from ..phy.transceiver import PhyListener, Radio
+from ..phy.transceiver import PhyListener, Radio, RadioState
 from .addresses import BROADCAST, MacAddress
+
+#: Broadcast address as a raw integer for the per-frame receive path.
+_BROADCAST_VALUE = BROADCAST.value
 from .backoff import BackoffWindow
 from .dedup import DuplicateCache
 from .fragmentation import Fragment, Reassembler, fragment_payload
@@ -178,6 +181,11 @@ class DcfMac(PhyListener):
         self._awaiting: Optional[str] = None  # "cts" | "ack" | None
         self._use_eifs = False
         self._basic_mode = standard.mode_for_rate(standard.basic_rate_bps)
+        # Hot-path bindings: the contention machinery runs on every CCA
+        # edge and received frame, so avoid repeated attribute chains.
+        self._standard = standard
+        self._slot_time = standard.slot_time
+        self._address_value = address.value
 
     # ------------------------------------------------------------------ API
 
@@ -273,7 +281,18 @@ class DcfMac(PhyListener):
     # ----------------------------------------------------------- carrier sense
 
     def _medium_idle(self) -> bool:
-        return not self.radio.cca_busy() and not self.nav.busy
+        # Equivalent to ``not radio.cca_busy() and not nav.busy`` with
+        # the call layers flattened — this predicate runs on every CCA
+        # edge and decoded frame in a saturated cell.
+        # KEEP IN SYNC with Radio.cca_busy / Radio._update_cca.
+        radio = self.radio
+        state = radio._state
+        if state is RadioState.TX or state is RadioState.RX:
+            return False
+        if state is not RadioState.SLEEP and \
+                sum(radio._arrivals.values()) >= radio._cca_threshold_watts:
+            return False
+        return self.sim._now >= self.nav._until
 
     def _maybe_start_ifs(self) -> None:
         """Arm the DIFS/EIFS wait if we are contending and all is quiet."""
@@ -285,8 +304,8 @@ class DcfMac(PhyListener):
             return
         if not self._medium_idle():
             return
-        wait = self.radio.standard.eifs if self._use_eifs \
-            else self.radio.standard.difs
+        standard = self._standard
+        wait = standard.eifs if self._use_eifs else standard.difs
         self._ifs_timer = self.sim.schedule(wait, self._ifs_expired)
 
     def _cancel_access_timers(self) -> None:
@@ -306,7 +325,7 @@ class DcfMac(PhyListener):
             self._access_won()
         else:
             self._slot_timer = self.sim.schedule(
-                self.radio.standard.slot_time, self._slot_tick)
+                self._slot_time, self._slot_tick)
 
     def _slot_tick(self) -> None:
         self._slot_timer = None
@@ -317,7 +336,7 @@ class DcfMac(PhyListener):
             self._access_won()
         else:
             self._slot_timer = self.sim.schedule(
-                self.radio.standard.slot_time, self._slot_tick)
+                self._slot_time, self._slot_tick)
 
     def _access_won(self) -> None:
         self._backoff_remaining = None
@@ -502,11 +521,19 @@ class DcfMac(PhyListener):
         frame = payload
         if self.sniffer is not None:
             self.sniffer(frame, snr_db)
-        addressed_to_us = frame.addr1 == self.address
-        broadcast = frame.addr1.is_broadcast or frame.addr1.is_multicast
-        if frame.transmitter is not None:
-            self.rate_controller_for(frame.transmitter)\
-                .on_snr_measurement(snr_db)
+        addr1 = frame.addr1
+        addr1_value = addr1.value
+        addressed_to_us = addr1_value == self._address_value
+        # is_broadcast / is_multicast predicates inlined (per-frame path).
+        broadcast = addr1_value == _BROADCAST_VALUE or \
+            bool((addr1_value >> 40) & 0x01)
+        transmitter = frame.transmitter
+        if transmitter is not None:
+            controller = self._controllers.get(transmitter)
+            if controller is None:
+                controller = self._rate_factory(self.radio.standard)
+                self._controllers[transmitter] = controller
+            controller.on_snr_measurement(snr_db)
         if not addressed_to_us and not broadcast:
             self._overheard(frame)
             self._maybe_start_ifs()

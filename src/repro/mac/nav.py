@@ -21,6 +21,8 @@ from ..core.engine import EventHandle, Simulator
 class Nav:
     """Per-station NAV timer with an expiry callback."""
 
+    __slots__ = ("_sim", "_until", "_on_expire", "_timer")
+
     def __init__(self, sim: Simulator,
                  on_expire: Optional[Callable[[], None]] = None):
         self._sim = sim

@@ -56,6 +56,12 @@ class MobilityModel:
 
     def _step(self) -> None:
         new_position = self.advance(self.tick)
+        # This assignment is the link-cache invalidation hook: devices
+        # and radios expose ``position`` as a property whose setter
+        # calls Medium.invalidate_links, so every mobility tick flushes
+        # the moved node's cached link budgets (and the cache's
+        # position-identity check backstops any target that bypasses
+        # the property).
         self.target.position = new_position
         for observer in self._observers:
             observer(new_position)

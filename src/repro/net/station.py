@@ -112,11 +112,28 @@ class Station(WirelessDevice):
 
     # --- hooks ------------------------------------------------------------
 
-    def on_associated(self, hook: AssociationHook) -> None:
+    def on_associated(self, hook: AssociationHook) -> Callable[[], None]:
+        """Register an association hook; returns an unsubscribe callable
+        (safe to call more than once)."""
         self._assoc_hooks.append(hook)
 
-    def on_disassociated(self, hook: Callable[[], None]) -> None:
+        def _unsubscribe() -> None:
+            try:
+                self._assoc_hooks.remove(hook)
+            except ValueError:
+                pass
+        return _unsubscribe
+
+    def on_disassociated(self, hook: Callable[[], None]) -> Callable[[], None]:
+        """Register a disassociation hook; returns an unsubscribe callable."""
         self._disassoc_hooks.append(hook)
+
+        def _unsubscribe() -> None:
+            try:
+                self._disassoc_hooks.remove(hook)
+            except ValueError:
+                pass
+        return _unsubscribe
 
     @property
     def associated(self) -> bool:

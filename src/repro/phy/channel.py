@@ -9,12 +9,22 @@ cannot decode can still deafen you.
 
 The medium is deliberately policy-free: locking, capture, SINR, and
 error decisions all live in :class:`~repro.phy.transceiver.Radio`.
+
+Fast path: for static topologies the link budget between any two radios
+never changes, so :class:`LinkCache` memoizes the per-pair received
+power and propagation delay.  ``Medium.transmit`` then does one dict
+lookup per receiver instead of a dB-space round-trip (``log10``/``pow``)
+per frame.  Cache entries carry the :class:`~repro.core.topology.Position`
+objects they were computed from; because positions are immutable, a
+moved radio invalidates its links automatically (the identity check
+fails) *and* explicitly (the radio's position setter and the mobility
+models call :meth:`Medium.invalidate_links`).
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.engine import Simulator
 from ..core.errors import ConfigurationError
@@ -53,6 +63,66 @@ class Transmission:
                 f"{self.size_bits}b @{self.mode.name}>")
 
 
+class LinkCache:
+    """Memoized per-pair link budgets for static (between moves) topologies.
+
+    One entry per ordered ``(sender, receiver)`` radio pair:
+    ``(rx_power_watts, delay_s, tx_power_watts, tx_position,
+    rx_position)``.  The positions (and transmit power) the entry was
+    computed from ride along so a lookup can validate the entry with two
+    identity checks and a float compare — positions are immutable value
+    objects, so any movement replaces the object and the stale entry
+    misses.  Explicit invalidation exists for model-level changes (e.g.
+    re-seeding a shadowing decorator) and is wired into the radio
+    position setter and the mobility models.
+
+    The cached receive power is the output of
+    :meth:`~repro.phy.propagation.PropagationModel.received_power_watts`,
+    so cached and uncached runs (and pre-cache historical runs) produce
+    bit-identical link budgets; only the per-frame cost changes.
+    """
+
+    __slots__ = ("_entries", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[Radio, Radio],
+                            Tuple[float, float, float, Any, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, propagation: PropagationModel, sender: Radio,
+               receiver: Radio, tx_power_watts: float
+               ) -> Tuple[float, float, float, Any, Any]:
+        """Return ``(rx_power, delay_s, tx_power, tx_pos, rx_pos)``."""
+        key = (sender, receiver)
+        tx_pos = sender.position
+        rx_pos = receiver.position
+        entry = self._entries.get(key)
+        if entry is not None and entry[3] is tx_pos and \
+                entry[4] is rx_pos and entry[2] == tx_power_watts:
+            self.hits += 1
+            return entry
+        rx_power = propagation.received_power_watts(tx_power_watts,
+                                                    tx_pos, rx_pos)
+        delay = tx_pos.distance_to(rx_pos) / SPEED_OF_LIGHT
+        entry = (rx_power, delay, tx_power_watts, tx_pos, rx_pos)
+        self._entries[key] = entry
+        self.misses += 1
+        return entry
+
+    def invalidate(self, radio: Optional[Radio] = None) -> None:
+        """Drop every entry involving ``radio`` (or all entries)."""
+        if radio is None:
+            self._entries.clear()
+            return
+        self._entries = {
+            key: entry for key, entry in self._entries.items()
+            if key[0] is not radio and key[1] is not radio}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
 class Medium:
     """A broadcast radio medium with per-channel isolation.
 
@@ -70,15 +140,25 @@ class Medium:
     propagation_delay:
         Whether to model the speed-of-light delay (on by default; a few
         hundred nanoseconds at WLAN scale, microseconds at WiMAX scale).
+    cache_links:
+        Memoize per-pair link budgets (on by default).  Disable to force
+        a fresh propagation-model evaluation per frame — results are
+        bit-identical either way (both paths go through
+        ``received_power_watts``); the knob exists for the determinism
+        tests and for exotic models whose loss varies with something
+        other than geometry.
     """
 
     def __init__(self, sim: Simulator, propagation: PropagationModel,
                  reception_floor_dbm: float = -110.0,
-                 propagation_delay: bool = True):
+                 propagation_delay: bool = True,
+                 cache_links: bool = True):
         self.sim = sim
         self.propagation = propagation
         self.reception_floor_watts = dbm_to_watts(reception_floor_dbm)
         self.propagation_delay = propagation_delay
+        self.cache_links = cache_links
+        self.links = LinkCache()
         self._radios: List[Radio] = []
         self._active: Dict[int, List[Transmission]] = {}
 
@@ -87,6 +167,15 @@ class Medium:
         if radio in self._radios:
             raise ConfigurationError(f"radio {radio.name} attached twice")
         self._radios.append(radio)
+
+    def invalidate_links(self, radio: Optional[Radio] = None) -> None:
+        """Invalidate cached link budgets (all, or one radio's links).
+
+        Called from :class:`~repro.phy.transceiver.Radio`'s position
+        setter and from the mobility models on every move; call it
+        directly after mutating the propagation model itself.
+        """
+        self.links.invalidate(radio)
 
     def radios_on_channel(self, channel_id: int) -> List[Radio]:
         return [radio for radio in self._radios
@@ -106,27 +195,44 @@ class Medium:
                  mode: PhyMode, duration: float, power_watts: float
                  ) -> Transmission:
         """Fan a frame out to every audible co-channel radio."""
+        now = self.sim.now
+        channel = sender.channel_id
         transmission = Transmission(sender, payload, size_bits, mode,
-                                    power_watts, self.sim.now, duration)
-        self._active.setdefault(sender.channel_id, []).append(transmission)
-        self.active_transmissions(sender.channel_id)  # opportunistic GC
+                                    power_watts, now, duration)
+        self._active.setdefault(channel, []).append(transmission)
+        self.active_transmissions(channel)  # opportunistic GC
+        # Hot loop: bind everything once; one cache lookup per receiver.
+        floor = self.reception_floor_watts
+        schedule_fast_at = self.sim.schedule_fast_at
+        propagation = self.propagation
+        model_delay = self.propagation_delay
+        lookup = self.links.lookup if self.cache_links else None
         for receiver in self._radios:
-            if receiver is sender:
+            if receiver is sender or receiver.channel_id != channel:
                 continue
-            if receiver.channel_id != sender.channel_id:
-                continue
-            rx_power = self.propagation.received_power_watts(
-                power_watts, sender.position, receiver.position)
-            if rx_power < self.reception_floor_watts:
-                continue
-            delay = 0.0
-            if self.propagation_delay:
-                distance = sender.position.distance_to(receiver.position)
-                delay = distance / SPEED_OF_LIGHT
-            self.sim.schedule(delay, receiver.arrival_begins,
-                              transmission, rx_power)
-            self.sim.schedule(delay + duration, receiver.arrival_ends,
-                              transmission)
+            if lookup is not None:
+                entry = lookup(propagation, sender, receiver, power_watts)
+                rx_power = entry[0]
+                if rx_power < floor:
+                    continue
+                delay = entry[1] if model_delay else 0.0
+            else:
+                tx_pos = sender.position
+                rx_pos = receiver.position
+                rx_power = propagation.received_power_watts(
+                    power_watts, tx_pos, rx_pos)
+                if rx_power < floor:
+                    continue
+                delay = tx_pos.distance_to(rx_pos) / SPEED_OF_LIGHT \
+                    if model_delay else 0.0
+            schedule_fast_at(now + delay, receiver.arrival_begins,
+                             transmission, rx_power)
+            # Parenthesized to match the historical relative-delay float
+            # arithmetic exactly: now + (delay + duration), NOT
+            # (now + delay) + duration — the ulp difference is enough to
+            # reorder CCA edges and desynchronize seeded runs.
+            schedule_fast_at(now + (delay + duration),
+                             receiver.arrival_ends, transmission)
         return transmission
 
     # --- link budget introspection (used by scanning / benchmarks) ----------

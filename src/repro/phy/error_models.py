@@ -55,6 +55,21 @@ class BerErrorModel(ErrorModel):
         log_success = size_bits * math.log1p(-ber)
         return -math.expm1(log_success)
 
+    def frame_survives(self, snr_db: float, size_bits: int,
+                       modulation: Modulation, rng: random.Random) -> bool:
+        """Sample delivery success (PER computation inlined: this runs
+        once per decoded frame per receiver).  The RNG is always drawn
+        exactly once, like the base implementation, to keep seeded
+        streams aligned."""
+        per = 0.0
+        if size_bits > 0:
+            ber = modulation.ber(snr_db)
+            if ber >= 1.0:
+                per = 1.0
+            elif ber > 0.0:
+                per = -math.expm1(size_bits * math.log1p(-ber))
+        return rng.random() >= per
+
 
 @dataclass
 class SnrThresholdErrorModel(ErrorModel):

@@ -13,22 +13,33 @@ frame may abandon it for a sufficiently stronger late arrival
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from ..core.units import linear_to_db
+
+_INF = math.inf
+_log10 = math.log10
 
 
 class SinrTracker:
     """Integrates interference energy across one frame reception."""
 
-    def __init__(self, signal_watts: float, noise_watts: float, start: float):
+    __slots__ = ("signal_watts", "noise_watts", "_start", "_last_time",
+                 "_current_interference", "_energy")
+
+    def __init__(self, signal_watts: float, noise_watts: float, start: float,
+                 interference_watts: float = 0.0):
         if signal_watts < 0 or noise_watts < 0:
             raise ValueError("powers must be non-negative")
         self.signal_watts = signal_watts
         self.noise_watts = noise_watts
         self._start = start
         self._last_time = start
-        self._current_interference = 0.0
+        # Passing the initial interference here is equivalent to an
+        # immediate set_interference(start, x) — zero elapsed time, so
+        # no energy accrues — but saves a call on the lock fast path.
+        self._current_interference = interference_watts
         self._energy = 0.0  # watt-seconds of interference so far
 
     def set_interference(self, now: float, power_watts: float) -> None:
@@ -50,7 +61,11 @@ class SinrTracker:
         denominator = self.noise_watts + mean_interference
         if denominator <= 0.0:
             return linear_to_db(float("inf"))
-        return linear_to_db(self.signal_watts / denominator)
+        # linear_to_db inlined (one call per decoded frame per receiver).
+        ratio = self.signal_watts / denominator
+        if ratio <= 0.0:
+            return -_INF
+        return 10.0 * _log10(ratio)
 
 
 @dataclass(frozen=True)

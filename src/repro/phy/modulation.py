@@ -23,9 +23,14 @@ from dataclasses import dataclass
 from ..core.units import db_to_linear
 
 
+#: sqrt(2), hoisted so the hot BER path does not recompute it per frame
+#: (math.sqrt is correctly rounded, so the constant is bit-identical).
+_SQRT2 = math.sqrt(2.0)
+
+
 def q_function(x: float) -> float:
     """Gaussian tail probability Q(x) = P(N(0,1) > x)."""
-    return 0.5 * math.erfc(x / math.sqrt(2.0))
+    return 0.5 * math.erfc(x / _SQRT2)
 
 
 @dataclass(frozen=True)
@@ -54,17 +59,35 @@ class Modulation:
     code_rate: float = 1.0
 
     def ber(self, snr_db: float) -> float:
-        """Bit error probability at the given SNR (dB over signal bandwidth)."""
+        """Bit error probability at the given SNR (dB over signal bandwidth).
+
+        This is the innermost loop of every frame delivery decision, so
+        the Eb/N0 conversion and the Q-function are fused inline (same
+        float operations in the same order as the reference formulas in
+        :meth:`_ber_from_ebno` / :func:`q_function`).
+        """
         effective_snr_db = snr_db + self.processing_gain_db + self.coding_gain_db
-        snr = db_to_linear(effective_snr_db)
+        snr = 10.0 ** (effective_snr_db / 10.0)
         # Convert bandwidth SNR to per-bit Eb/N0 via spectral efficiency.
         efficiency = self.bits_per_symbol * self.code_rate
         if efficiency <= 0:
             raise ValueError(f"non-positive spectral efficiency for {self.name}")
         ebno = snr / efficiency
-        return self._ber_from_ebno(ebno)
+        bits = self.bits_per_symbol
+        if bits <= 2.0:
+            # BPSK/DBPSK (and QPSK, same per-bit rate): Q(sqrt(2 Eb/N0)).
+            return 0.5 * math.erfc(
+                math.sqrt(max(2.0 * ebno, 0.0)) / _SQRT2)
+        # Square M-QAM with Gray mapping (approximate):
+        # BER ~= (4/k)(1 - 1/sqrt(M)) Q( sqrt(3 k Eb/N0 / (M - 1)) ).
+        m = 2.0 ** bits
+        coefficient = (4.0 / bits) * (1.0 - 1.0 / math.sqrt(m))
+        argument = math.sqrt(max(3.0 * bits * ebno / (m - 1.0), 0.0))
+        return min(coefficient * (0.5 * math.erfc(argument / _SQRT2)), 0.5)
 
     def _ber_from_ebno(self, ebno: float) -> float:
+        """Reference BER-from-Eb/N0 curve (kept for tests/documentation;
+        :meth:`ber` inlines the same arithmetic)."""
         bits = self.bits_per_symbol
         if bits <= 1.0:
             # BPSK (and DBPSK, within a dB): Q(sqrt(2 Eb/N0)).

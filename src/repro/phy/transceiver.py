@@ -90,7 +90,7 @@ class Radio:
         self.name = name
         self.medium = medium
         self.standard = standard
-        self.position = position
+        self._position = position
         self.channel_id = channel_id
         self.config = config if config is not None else RadioConfig()
         self.error_model = error_model if error_model is not None else BerErrorModel()
@@ -104,18 +104,34 @@ class Radio:
                   else standard.default_tx_power_dbm)
         self.tx_power_watts = dbm_to_watts(tx_dbm)
         self.noise_watts = standard.noise_floor_watts
+        self._cca_threshold_watts = dbm_to_watts(self.config.cca_threshold_dbm)
         #: Mode names this radio can decode; starts as the standard's own
         #: ladder and may be extended (e.g. a "mixed-mode" 802.11g radio
         #: also decodes 802.11b DSSS/CCK frames).
         self.decodable_modes: Set[str] = {mode.name for mode in standard.modes}
+        self._tx_mode_names = {mode.name for mode in standard.modes}
         # Arrivals currently incident on the antenna: transmission -> rx power.
         self._arrivals: Dict["Transmission", float] = {}
         self._locked: Optional[_Reception] = None
         self._cca_busy = False
+        self._sim = medium.sim
         self._rng = medium.sim.rng.stream(f"radio.{name}")
+        self._trace = medium.sim.trace
         medium.attach(self)
 
     # --- helpers ----------------------------------------------------------
+
+    @property
+    def position(self) -> Position:
+        return self._position
+
+    @position.setter
+    def position(self, value: Position) -> None:
+        """Move the radio; invalidates this radio's cached link budgets."""
+        if value is self._position:
+            return
+        self._position = value
+        self.medium.invalidate_links(self)
 
     @property
     def state(self) -> RadioState:
@@ -131,7 +147,7 @@ class Radio:
 
     @property
     def sim(self):
-        return self.medium.sim
+        return self._sim
 
     def allow_decoding(self, standard: PhyStandard) -> None:
         """Additionally decode another standard's modes (b/g coexistence)."""
@@ -148,7 +164,7 @@ class Radio:
             raise SimulationError(f"{self.name}: transmit while already in TX")
         if self.state == RadioState.SLEEP:
             raise SimulationError(f"{self.name}: transmit while asleep")
-        if mode.name not in {m.name for m in self.standard.modes}:
+        if mode.name not in self._tx_mode_names:
             raise SimulationError(
                 f"{self.name}: mode {mode.name} not in {self.standard.name}")
         # Transmitting aborts any in-progress reception (half duplex).
@@ -159,9 +175,11 @@ class Radio:
         duration = self.standard.frame_airtime(size_bits, mode)
         self.medium.transmit(self, payload, size_bits, mode, duration,
                              self.tx_power_watts)
-        self.sim.schedule(duration, self._tx_complete)
-        self.sim.trace.record(self.sim.now, self.name, "phy-tx-start",
-                              bits=size_bits, mode=mode.name)
+        self._sim.schedule_fast(duration, self._tx_complete)
+        trace = self._trace
+        if trace.enabled and trace.wants("phy-tx-start"):
+            trace.record(self._sim.now, self.name, "phy-tx-start",
+                         bits=size_bits, mode=mode.name)
         return duration
 
     def _tx_complete(self) -> None:
@@ -190,58 +208,62 @@ class Radio:
                        power_watts: float) -> None:
         """A transmission's energy starts arriving at our antenna."""
         self._arrivals[transmission] = power_watts
-        if self.state == RadioState.SLEEP:
+        state = self._state
+        if state is RadioState.SLEEP:
             return
-        now = self.sim.now
-        if self._locked is not None:
-            if self.config.capture.should_capture(self._locked.power_watts,
+        locked = self._locked
+        if locked is not None:
+            if self.config.capture.should_capture(locked.power_watts,
                                                   power_watts):
                 self._abort_locked()
                 self._try_lock(transmission, power_watts)
             else:
                 self._refresh_interference()
-        elif self.state == RadioState.IDLE:
+        elif state is RadioState.IDLE:
             self._try_lock(transmission, power_watts)
         self._update_cca()
 
     def arrival_ends(self, transmission: "Transmission") -> None:
         """A transmission's energy stops arriving (its airtime elapsed)."""
         self._arrivals.pop(transmission, None)
-        if self._locked is not None and \
-                self._locked.transmission is not transmission:
+        locked = self._locked
+        if locked is not None and locked.transmission is not transmission:
             self._refresh_interference()
         self._update_cca()
 
     def _try_lock(self, transmission: "Transmission",
                   power_watts: float) -> None:
+        # Kept as the historical dB-space comparison deliberately: a
+        # linear-domain rewrite disagrees within a few ulp of the
+        # threshold, which is enough to desynchronize a seeded run.
         snr_db = linear_to_db(power_watts / self.noise_watts) \
             if self.noise_watts > 0 else float("inf")
         if snr_db < self.config.preamble_detection_snr_db:
             return  # too weak to even see a preamble: pure noise
         if transmission.mode.name not in self.decodable_modes:
             return  # foreign PHY: energy only
-        now = self.sim.now
-        tracker = SinrTracker(power_watts, self.noise_watts, now)
-        interference = self.total_incident_power_watts() - power_watts
-        tracker.set_interference(now, interference)
+        sim = self._sim
+        interference = sum(self._arrivals.values()) - power_watts
+        tracker = SinrTracker(power_watts, self.noise_watts, sim.now,
+                              interference)
         # _try_lock only ever runs at the instant the energy starts
         # arriving, so the frame's tail lands exactly one airtime later
         # (the propagation delay shifted the whole frame, not its length).
-        end_handle = self.sim.schedule(transmission.duration,
-                                       self._reception_complete,
-                                       transmission)
+        end_handle = sim.schedule(transmission.duration,
+                                  self._reception_complete,
+                                  transmission)
         self._locked = _Reception(transmission, power_watts, tracker, end_handle)
         self.state = RadioState.RX
 
     def _refresh_interference(self) -> None:
-        if self._locked is None:
+        locked = self._locked
+        if locked is None:
             return
-        interference = (self.total_incident_power_watts()
-                        - self._locked.power_watts)
+        interference = sum(self._arrivals.values()) - locked.power_watts
         # The locked signal may have already left the arrival table if it
         # ended; guard against a small negative residue.
-        self._locked.tracker.set_interference(self.sim.now,
-                                              max(interference, 0.0))
+        locked.tracker.set_interference(self._sim.now,
+                                        max(interference, 0.0))
 
     def _abort_locked(self) -> None:
         assert self._locked is not None
@@ -256,13 +278,16 @@ class Radio:
             return  # lock was stolen or aborted meanwhile
         self._locked = None
         self.state = RadioState.IDLE
-        snr_db = reception.tracker.sinr_db(self.sim.now)
+        now = self._sim.now
+        snr_db = reception.tracker.sinr_db(now)
         success = self.error_model.frame_survives(
             snr_db, transmission.size_bits, transmission.mode.modulation,
             self._rng)
-        self.sim.trace.record(self.sim.now, self.name, "phy-rx-end",
-                              ok=success, snr=round(snr_db, 1),
-                              mode=transmission.mode.name)
+        trace = self._trace
+        if trace.enabled and trace.wants("phy-rx-end"):
+            trace.record(now, self.name, "phy-rx-end",
+                         ok=success, snr=round(snr_db, 1),
+                         mode=transmission.mode.name)
         self._update_cca()
         self.listener.phy_rx_end(transmission.payload, success, snr_db,
                                  transmission.mode)
@@ -270,16 +295,29 @@ class Radio:
     # --- CCA ---------------------------------------------------------------
 
     def cca_busy(self) -> bool:
-        """Clear-channel assessment: is the medium busy right now?"""
-        if self.state in (RadioState.TX, RadioState.RX):
+        """Clear-channel assessment: is the medium busy right now?
+
+        KEEP IN SYNC with the flattened copies of this predicate in
+        :meth:`_update_cca` below and ``DcfMac._medium_idle`` — they
+        avoid the method-call layers on the per-arrival hot path.
+        """
+        state = self._state
+        if state is RadioState.TX or state is RadioState.RX:
             return True
-        if self.state == RadioState.SLEEP:
+        if state is RadioState.SLEEP:
             return False
-        threshold_watts = dbm_to_watts(self.config.cca_threshold_dbm)
-        return self.total_incident_power_watts() >= threshold_watts
+        return sum(self._arrivals.values()) >= self._cca_threshold_watts
 
     def _update_cca(self) -> None:
-        busy = self.cca_busy()
+        # cca_busy() inlined: this runs on every arrival edge.
+        # KEEP IN SYNC with cca_busy() and DcfMac._medium_idle.
+        state = self._state
+        if state is RadioState.TX or state is RadioState.RX:
+            busy = True
+        elif state is RadioState.SLEEP:
+            busy = False
+        else:
+            busy = sum(self._arrivals.values()) >= self._cca_threshold_watts
         if busy == self._cca_busy:
             return
         self._cca_busy = busy

@@ -8,7 +8,7 @@ than *how* the network is assembled.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from .core.engine import Simulator
 from .core.errors import SimulationError
@@ -39,13 +39,46 @@ class InfrastructureBss:
 
 def associate_all(sim: Simulator, stations: List[Station],
                   timeout: float = 10.0) -> None:
-    """Run the simulation until every station has associated."""
+    """Run the simulation until every station has associated.
+
+    Event-driven: association hooks stop the run the instant the last
+    station associates, so no events are wasted on polling and the
+    returned clock is the actual association time (the old
+    implementation stepped the clock in 0.2 s increments, quantizing
+    the association time and re-entering the scheduler dozens of times
+    for slow joins).
+    """
+    waiting = [station for station in stations if not station.associated]
+    if not waiting:
+        return
     deadline = sim.now + timeout
-    step = 0.2
-    while sim.now < deadline:
-        if all(station.associated for station in stations):
-            return
-        sim.run(until=min(sim.now + step, deadline))
+    remaining = [len(waiting)]
+
+    def _make_hook() -> Callable[[object], None]:
+        fired = [False]
+
+        def _hook(_bssid: object) -> None:
+            # Count each station's *first* association only; a roam
+            # during the wait re-fires the hook and must not
+            # double-count toward `remaining`.
+            if fired[0]:
+                return
+            fired[0] = True
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                sim.stop()
+        return _hook
+
+    # Each hook is unsubscribed after the run: a late association (after
+    # a timeout) must never sim.stop() an unrelated later run, and
+    # repeated associate_all calls must not accumulate closures.
+    unsubscribes = [station.on_associated(_make_hook())
+                    for station in waiting]
+    try:
+        sim.run(until=deadline)
+    finally:
+        for unsubscribe in unsubscribes:
+            unsubscribe()
     missing = [station.name for station in stations
                if not station.associated]
     if missing:

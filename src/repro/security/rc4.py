@@ -8,6 +8,12 @@ exploit its weak-IV bias, not a stand-in.
 
 RC4 is cryptographically broken; it exists in this library as an object
 of study, not for protecting anything.
+
+Implementation note: :func:`ksa`/:func:`prga` keep their teaching-
+friendly list/generator forms (the FMS attack reasons about the
+permutation state directly), while :func:`crypt` — the function WEP and
+TKIP call per frame — runs the whole cipher as a single ``bytearray``
+block loop with no per-byte generator machinery.
 """
 
 from __future__ import annotations
@@ -15,6 +21,9 @@ from __future__ import annotations
 from typing import Iterator, List
 
 from ..core.errors import SecurityError
+
+#: Identity permutation, copied (cheaply) into a bytearray per key setup.
+_IDENTITY = bytes(range(256))
 
 
 def ksa(key: bytes) -> List[int]:
@@ -43,15 +52,40 @@ def prga(state: List[int]) -> Iterator[int]:
         yield state[(state[i] + state[j]) & 0xFF]
 
 
+def crypt(key: bytes, data: bytes) -> bytes:
+    """Encrypt or decrypt (RC4 is symmetric) ``data`` under ``key``.
+
+    Block implementation: one ``bytearray`` permutation, one output
+    buffer, no iterator protocol in the loop.  This is the hot path for
+    every WEP/TKIP frame and for the FMS attack oracle.
+    """
+    key_len = len(key)
+    if not 1 <= key_len <= 256:
+        raise SecurityError(f"RC4 key must be 1..256 bytes, got {key_len}")
+    state = bytearray(_IDENTITY)
+    j = 0
+    for i in range(256):
+        j = (j + state[i] + key[i % key_len]) & 0xFF
+        state[i], state[j] = state[j], state[i]
+    out = bytearray(data)
+    i = j = 0
+    for position in range(len(out)):
+        i = (i + 1) & 0xFF
+        j = (j + state[i]) & 0xFF
+        state_i = state[i]
+        state_j = state[j]
+        state[i] = state_j
+        state[j] = state_i
+        out[position] ^= state[(state_i + state_j) & 0xFF]
+    return bytes(out)
+
+
 def keystream(key: bytes, length: int) -> bytes:
-    """First ``length`` keystream bytes for ``key``."""
+    """First ``length`` keystream bytes for ``key``.
+
+    Implemented as the block cipher applied to zeros (XOR with zero
+    yields the raw keystream) so it shares the fast path.
+    """
     if length < 0:
         raise SecurityError(f"negative keystream length: {length}")
-    generator = prga(ksa(key))
-    return bytes(next(generator) for _ in range(length))
-
-
-def crypt(key: bytes, data: bytes) -> bytes:
-    """Encrypt or decrypt (RC4 is symmetric) ``data`` under ``key``."""
-    stream = keystream(key, len(data))
-    return bytes(a ^ b for a, b in zip(data, stream))
+    return crypt(key, bytes(length))

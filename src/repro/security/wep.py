@@ -37,6 +37,17 @@ from ..mac.fcs import crc32
 from .rc4 import crypt as rc4_crypt
 from .rc4 import ksa, prga
 
+#: Identity permutation for the partial-KSA vote loop.
+_IDENTITY = bytes(range(256))
+
+
+def _xor_bytes(a: bytes, b: bytes) -> bytes:
+    """XOR two equal-length byte strings (big-int trick: one C-level op
+    chain instead of a per-byte Python loop)."""
+    length = len(a)
+    return (int.from_bytes(a, "big") ^ int.from_bytes(b, "big")
+            ).to_bytes(length, "big")
+
 #: The first plaintext byte of every 802.11 data frame body (LLC DSAP).
 SNAP_FIRST_BYTE = 0xAA
 
@@ -115,8 +126,7 @@ def forge_bitflip(wep_body: bytes, delta: bytes) -> bytes:
     patch = delta + icv_delta.to_bytes(4, "little")
     header = wep_body[:IV_LEN + 1]
     sealed = wep_body[IV_LEN + 1:]
-    forged = bytes(a ^ b for a, b in zip(sealed, patch))
-    return header + forged
+    return header + _xor_bytes(sealed, patch)
 
 
 # --- attack 2: FMS weak-IV key recovery ---------------------------------------
@@ -173,19 +183,20 @@ class FmsAttack:
         a = len(known_prefix)
         steps = a + 3
         key = sample.iv + known_prefix
-        state = list(range(256))
+        key_len = len(key)
+        state = bytearray(_IDENTITY)
         j = 0
         for i in range(steps):
-            j = (j + state[i] + key[i % len(key)]) & 0xFF
+            j = (j + state[i] + key[i % key_len]) & 0xFF
             state[i], state[j] = state[j], state[i]
         # Resolved condition: the first output depends on S[1]+S[S[1]].
         if state[1] >= steps or (state[1] + state[state[1]]) & 0xFF != steps:
             return None
-        out = sample.first_keystream_byte
-        inverse = [0] * 256
-        for position, value in enumerate(state):
-            inverse[value] = position
-        return (inverse[out] - j - state[steps]) & 0xFF
+        # The permutation is a bijection over 0..255, so the inverse
+        # lookup is a C-level bytearray search instead of building a
+        # full 256-entry inverse table per vote.
+        position = state.index(sample.first_keystream_byte)
+        return (position - j - state[steps]) & 0xFF
 
     def recover_key(self) -> Optional[bytes]:
         """Attempt full-key recovery; None when evidence is insufficient."""
@@ -223,18 +234,36 @@ class WeakIvTrafficOracle:
     def sniff_weak_samples(self, frame_budget: int,
                            key_len: Optional[int] = None
                            ) -> Iterable[WeakIvSample]:
-        """Observe up to ``frame_budget`` more frames, yielding the weak
-        samples among them."""
+        """Observe ``frame_budget`` more frames, yielding the weak
+        samples among them.
+
+        The IV counter is stepped *arithmetically*: weak IVs of the form
+        ``(A+3, 0xFF, X)`` occupy 256-frame runs at known offsets inside
+        every 65536-frame block, so instead of iterating every IV this
+        jumps from weak run to weak run and accounts for the skipped
+        frames in bulk.  Sample order and values are identical to the
+        frame-by-frame walk; only the Python work is proportional to the
+        weak frames rather than all frames.
+
+        Note the whole budget is charged to :attr:`frames_observed` when
+        iteration starts (callers in this library always drain the
+        generator).
+        """
         key_len = key_len if key_len is not None else len(self.cipher.key)
         weak_firsts = {index + 3 for index in range(key_len)}
-        for _ in range(frame_budget):
-            iv_int = self._iv_value
-            self._iv_value = (self._iv_value + 1) % (1 << 24)
-            self.frames_observed += 1
-            iv = iv_int.to_bytes(3, "big")
-            if iv[0] in weak_firsts and iv[1] == 0xFF:
-                body = self.cipher.encrypt(bytes([SNAP_FIRST_BYTE]) + b"data",
-                                           iv=iv)
+        start = self._iv_value
+        end = start + frame_budget
+        self._iv_value = end % (1 << 24)
+        self.frames_observed += frame_budget
+        plaintext = bytes([SNAP_FIRST_BYTE]) + b"data"
+        for block in range(start >> 16, ((end - 1) >> 16) + 1):
+            if (block & 0xFF) not in weak_firsts:
+                continue
+            run_base = (block << 16) | 0xFF00
+            for value in range(max(start, run_base),
+                               min(end, run_base + 256)):
+                iv = (value % (1 << 24)).to_bytes(3, "big")
+                body = self.cipher.encrypt(plaintext, iv=iv)
                 yield WeakIvSample(iv, first_keystream_byte(body))
 
 

@@ -180,6 +180,75 @@ class TestPeriodicTask:
             PeriodicTask(sim, 0.0, lambda: None)
 
 
+class TestFastScheduling:
+    def test_schedule_fast_fires_in_order_with_handles(self, sim):
+        fired = []
+        sim.schedule(0.2, fired.append, "handle")
+        sim.schedule_fast(0.1, fired.append, "fast")
+        sim.schedule_fast_at(0.3, fired.append, "fast-at")
+        sim.run()
+        assert fired == ["fast", "handle", "fast-at"]
+
+    def test_schedule_fast_ties_respect_scheduling_order(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule_fast(1.0, fired.append, "b")
+        sim.schedule(1.0, fired.append, "c")
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_schedule_fast_validates_like_schedule(self, sim):
+        with pytest.raises(SchedulingError):
+            sim.schedule_fast(-0.1, lambda: None)
+        with pytest.raises(SchedulingError):
+            sim.schedule_fast(math.nan, lambda: None)
+        with pytest.raises(SchedulingError):
+            sim.schedule_fast_at(-1.0, lambda: None)
+
+    def test_schedule_fast_counts_as_pending(self, sim):
+        sim.schedule_fast(0.5, lambda: None)
+        assert sim.pending_events == 1
+        sim.run()
+        assert sim.pending_events == 0
+
+    def test_clear_drops_fast_events(self, sim):
+        fired = []
+        sim.schedule_fast(0.1, fired.append, "x")
+        sim.clear()
+        sim.run()
+        assert fired == []
+        assert sim.pending_events == 0
+
+
+class TestPendingCounter:
+    def test_counter_tracks_schedule_execute_cancel(self, sim):
+        handles = [sim.schedule(0.1 * (i + 1), lambda: None)
+                   for i in range(4)]
+        assert sim.pending_events == 4
+        handles[0].cancel()
+        assert sim.pending_events == 3
+        sim.run(until=0.25)  # fires events at 0.2 (0.1 was cancelled)
+        assert sim.pending_events == 2
+        sim.run()
+        assert sim.pending_events == 0
+
+    def test_cancel_after_firing_does_not_skew_counter(self, sim):
+        handle = sim.schedule(0.1, lambda: None)
+        sim.run()
+        handle.cancel()  # late cancel of an already-fired event
+        assert sim.pending_events == 0
+        assert not handle.pending
+
+    def test_run_until_boundary_keeps_future_event_pending(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "early")
+        sim.schedule(5.0, fired.append, "late")
+        sim.run(until=2.0)
+        assert sim.pending_events == 1
+        sim.run()
+        assert fired == ["early", "late"]
+
+
 class TestDeterminism:
     def test_same_seed_same_trace(self):
         def run(seed):

@@ -64,6 +64,60 @@ class TestTraceLog:
         assert "e8" in tail and "e9" in tail and "e7" not in tail
 
 
+class TestEventMask:
+    def test_enable_only_filters_event_types(self):
+        log = TraceLog()
+        log.enable_only("tx-start")
+        log.record(0.1, "a", "tx-start")
+        log.record(0.2, "a", "rx-end")
+        assert len(log) == 1
+        assert list(log)[0].event == "tx-start"
+
+    def test_enable_all_events_restores_everything(self):
+        log = TraceLog()
+        log.enable_only("tx-start")
+        log.enable_all_events()
+        log.record(0.1, "a", "rx-end")
+        assert len(log) == 1
+
+    def test_wants_reflects_enabled_and_mask(self):
+        log = TraceLog()
+        assert log.wants("anything")
+        log.enable_only("tx-start")
+        assert log.wants("tx-start")
+        assert not log.wants("rx-end")
+        log.enabled = False
+        assert not log.wants("tx-start")
+
+    def test_filtered_events_do_not_count_as_dropped(self):
+        log = TraceLog(capacity=2)
+        log.enable_only("keep")
+        for index in range(5):
+            log.record(float(index), "s", "skip")
+        assert log.dropped == 0
+        for index in range(5):
+            log.record(float(index), "s", "keep")
+        assert len(log) == 2
+        assert log.dropped == 3
+
+
+class TestCapacityEviction:
+    def test_dropped_counter_stays_accurate_under_sustained_overflow(self):
+        log = TraceLog(capacity=10)
+        for index in range(1000):
+            log.record(float(index), "s", "e")
+        assert len(log) == 10
+        assert log.dropped == 990
+        assert list(log)[0].time == 990.0
+
+    def test_unbounded_log_never_drops(self):
+        log = TraceLog(capacity=None)
+        for index in range(500):
+            log.record(float(index), "s", "e")
+        assert len(log) == 500
+        assert log.dropped == 0
+
+
 class TestTraceRecord:
     def test_format_microseconds(self):
         record = TraceRecord(1.5e-6, "x", "y")

@@ -135,6 +135,49 @@ class TestFixedLoss:
         assert model.path_loss_db(A, at(1e6)) == 42.0
 
 
+class TestLinkGain:
+    """The linear-domain fast path must agree with the dB curve for
+    every model (to float tolerance — it avoids the log10 round-trip
+    by design, so exact equality is not promised)."""
+
+    @pytest.mark.parametrize("model", [
+        FreeSpace(2.4e9),
+        LogDistance(2.4e9, exponent=3.2),
+        TwoRayGround(3.5e9),
+        FixedLoss(42.0),
+        RangePropagation(100.0),
+    ], ids=lambda m: type(m).__name__)
+    @pytest.mark.parametrize("distance", [0.5, 1.0, 10.0, 99.0, 500.0])
+    def test_matches_db_curve(self, model, distance):
+        loss_db = model.path_loss_db(A, at(distance))
+        gain = model.link_gain(A, at(distance))
+        if math.isinf(loss_db):
+            assert gain == 0.0
+        else:
+            assert gain == pytest.approx(10.0 ** (-loss_db / 10.0),
+                                         rel=1e-12)
+
+    def test_shadowing_gain_includes_frozen_offset(self):
+        model = Shadowing(FreeSpace(2.4e9), sigma_db=8.0,
+                          rng=random.Random(1))
+        loss_db = model.path_loss_db(A, at(50.0))
+        gain = model.link_gain(A, at(50.0))
+        assert gain == pytest.approx(10.0 ** (-loss_db / 10.0), rel=1e-12)
+        # The linear factor is frozen alongside the dB offset.
+        assert model.link_gain(A, at(50.0)) == gain
+        assert model.link_gain(at(50.0), A) == gain
+
+    def test_received_power_uses_db_pipeline(self):
+        # The cached/uncached contract: received_power_watts stays in
+        # dB space (bit-identical with historical runs), so it is the
+        # dB round-trip of path_loss_db, not tx_power * link_gain.
+        model = LogDistance(2.4e9)
+        tx_power = 0.1
+        expected = 10.0 ** ((10.0 * math.log10(tx_power * 1000.0)
+                             - model.path_loss_db(A, at(30.0))) / 10.0) / 1000.0
+        assert model.received_power_watts(tx_power, A, at(30.0)) == expected
+
+
 class TestMaxRange:
     def test_budget_inversion(self):
         model = FreeSpace(2.4e9)

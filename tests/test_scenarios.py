@@ -37,6 +37,42 @@ class TestInfrastructureBuilder:
         with pytest.raises(SimulationError, match="failed to associate"):
             scenarios.associate_all(sim, bss.stations, timeout=1.0)
 
+    def test_associate_all_returns_at_association_time(self, sim):
+        """Event-driven associate_all stops the instant the last station
+        associates instead of stepping to the next polling boundary."""
+        bss = scenarios.build_infrastructure_bss(sim, station_count=2,
+                                                 associate=False)
+        last_association = []
+        for station in bss.stations:
+            station.on_associated(
+                lambda _bssid: last_association.append(sim.now))
+        scenarios.associate_all(sim, bss.stations, timeout=10.0)
+        assert all(sta.associated for sta in bss.stations)
+        assert sim.now == last_association[-1]
+
+    def test_associate_all_noop_when_already_associated(self, sim):
+        bss = scenarios.build_infrastructure_bss(sim, station_count=1)
+        before = sim.now
+        scenarios.associate_all(sim, bss.stations, timeout=5.0)
+        assert sim.now == before
+
+    def test_stale_hooks_never_stop_a_later_run(self, sim):
+        """A station that associates *after* associate_all timed out
+        must not sim.stop() the caller's next run via the stale hook."""
+        bss = scenarios.build_infrastructure_bss(sim, station_count=1,
+                                                 associate=False)
+        # Make association impossible for now by detuning the scan.
+        station = bss.stations[0]
+        with pytest.raises(SimulationError, match="failed to associate"):
+            scenarios.associate_all(sim, [station], timeout=0.01)
+        # The station associates later, on its own schedule.
+        sim.run(until=sim.now + 5.0)
+        assert station.associated
+        # The stale hook fired during that run; it must not have
+        # stopped it short of the requested horizon.
+        target = sim.now + 1.0
+        assert sim.run(until=target) == target
+
 
 class TestAdhocBuilder:
     def test_peers_share_one_bssid(self, sim):
