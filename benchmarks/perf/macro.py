@@ -121,6 +121,71 @@ def dcf_saturation(scale: float = 1.0, *, seed: int = 5,
     }
 
 
+def dcf_saturation_100(scale: float = 1.0, *, seed: int = 17) -> Dict[str, Any]:
+    """100 saturated stations to one receiver: the dense-contention macro.
+
+    Everything that grows with N concentrates here — arrival fan-out
+    (101 radios hear every frame), CCA-edge storms, and simultaneous
+    batched-countdown re-anchoring across the whole cell.  Cache and
+    batching wins grow with N, so this macro is the trajectory's
+    scaling check: its speedup relative to the seed core should be at
+    least the 20-station macro's.
+    """
+    return dcf_saturation(scale, seed=seed, stations=100)
+
+
+def multi_bss(scale: float = 1.0, *, seed: int = 23,
+              bss_count: int = 4, stations_per_bss: int = 6) -> Dict[str, Any]:
+    """Several co-located BSSes on orthogonal channels, all saturated.
+
+    Exercises per-channel medium isolation: the fan-out must touch only
+    co-channel radios, so with the per-channel receiver lists the event
+    cost per frame is O(cell size), not O(all radios).
+    """
+    channels = (1, 6, 11, 14)
+    if bss_count > len(channels):
+        raise ValueError(f"at most {len(channels)} orthogonal BSSes")
+    reset_allocator()
+    sim = _perf_simulator(seed)
+    medium = Medium(sim, FixedLoss(50.0))
+    config = DcfConfig()
+    factory = fixed_rate_factory("CCK-11")
+    payload = bytes(800)
+    counters = []
+    for bss in range(bss_count):
+        channel = channels[bss]
+        receiver_radio = Radio(f"bss{bss}-rx", medium, DOT11B,
+                               Position(0, 100.0 * bss, 0),
+                               channel_id=channel)
+        receiver = DcfMac(sim, receiver_radio, allocate_address(),
+                          config=config, rate_factory=factory)
+        counter = _Count()
+        receiver.listener = counter
+        counters.append(counter)
+        for index in range(stations_per_bss):
+            radio = Radio(f"bss{bss}-tx{index}", medium, DOT11B,
+                          Position(1.0 + index * 0.1, 100.0 * bss, 0),
+                          channel_id=channel)
+            mac = DcfMac(sim, radio, allocate_address(), config=config,
+                         rate_factory=factory)
+            refill = _Refill(mac, receiver.address, payload)
+            mac.listener = refill
+            refill.prime()
+    horizon = 0.4 + 1.0 * scale
+    sim.run(until=horizon)
+    return {
+        "work": sim.events_executed,
+        "work_unit": "events",
+        "sim_seconds": horizon,
+        "stats": {
+            "rx_bytes": sum(counter.bytes for counter in counters),
+            "rx_frames": sum(counter.frames for counter in counters),
+            "per_bss_frames": [counter.frames for counter in counters],
+            "events": sim.events_executed,
+        },
+    }
+
+
 def hidden_terminal(scale: float = 1.0, *, seed: int = 11) -> Dict[str, Any]:
     """Two mutually hidden saturated senders with RTS/CTS enabled.
 
@@ -228,6 +293,8 @@ def wep_audit(scale: float = 1.0, *, seed: int = 0) -> Dict[str, Any]:
 #: name -> scenario callable; the harness and the perf tests iterate this.
 MACROS: Dict[str, Callable[..., Dict[str, Any]]] = {
     "dcf_saturation": dcf_saturation,
+    "dcf_saturation_100": dcf_saturation_100,
+    "multi_bss": multi_bss,
     "hidden_terminal": hidden_terminal,
     "roaming_ess": roaming_ess,
     "wep_audit": wep_audit,

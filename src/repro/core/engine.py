@@ -22,9 +22,16 @@ ordering uses C-level tuple comparison instead of
 fire-and-forget callers (the medium's per-receiver arrival fan-out —
 the most-scheduled events in any run) can use
 :meth:`Simulator.schedule_fast_at` to skip the
-:class:`EventHandle` allocation entirely.  Heap entries are therefore
-either ``(time, seq, handle)`` or ``(time, seq, None, callback,
-args)``; ties never compare past ``seq``, which is unique.
+:class:`EventHandle` allocation entirely.  Components that arm and
+re-arm the *same* deadline over and over (DIFS waits, the batched
+backoff countdown, the NAV, reception completion) use a reusable
+:class:`Timer`, which replaces the per-arm :class:`EventHandle`
+allocation with a version check on a pre-allocated object.
+
+Heap entries are therefore one of three shapes — ``(time, seq,
+handle)``, ``(time, seq, timer, version)`` or ``(time, seq, None,
+callback, args)`` — and ties never compare past ``seq``, which is
+unique, so entries of different shapes never compare element 2.
 """
 
 from __future__ import annotations
@@ -92,6 +99,87 @@ class EventHandle:
 
 def _noop(*_args: Any) -> None:
     return None
+
+
+class Timer:
+    """A reusable, re-anchorable one-shot timer.
+
+    Unlike :meth:`Simulator.schedule`, arming a :class:`Timer` allocates
+    no :class:`EventHandle` — the timer object itself rides in the heap
+    entry together with a version number.  Re-arming or cancelling bumps
+    the version; superseded entries left in the heap are dropped by the
+    run loop when they surface, exactly like a cancelled handle (they do
+    not count as executed events).  This makes ``cancel + reschedule``
+    the cheap operation the DCF's contention machinery needs: a DIFS
+    wait, the batched backoff countdown and the NAV each re-anchor on
+    every CCA edge.
+
+    At most one deadline is live at a time; the callback is fixed at
+    construction and fires with no arguments.
+    """
+
+    __slots__ = ("_sim", "_callback", "_version", "_armed", "_time")
+
+    def __init__(self, sim: "Simulator", callback: Callable[[], None]):
+        self._sim = sim
+        self._callback = callback
+        self._version = 0
+        self._armed = False
+        self._time = 0.0
+
+    @property
+    def armed(self) -> bool:
+        """True while a deadline is pending."""
+        return self._armed
+
+    @property
+    def time(self) -> float:
+        """The pending deadline (meaningless unless :attr:`armed`)."""
+        return self._time
+
+    def schedule(self, delay: float) -> None:
+        """Arm (or re-anchor) the timer ``delay`` seconds from now."""
+        # schedule_at inlined: this is the contention hot path (DIFS
+        # re-arms on every idle edge at every station).
+        sim = self._sim
+        time = sim._now + delay
+        if not sim._now <= time < _INF:
+            if time < sim._now:
+                raise SchedulingError(
+                    f"cannot schedule at t={time!r} before now={sim._now!r}")
+            raise SchedulingError(f"invalid time: {time!r}")
+        if self._armed:
+            sim._cancelled_events += 1
+        else:
+            self._armed = True
+        self._version += 1
+        self._time = time
+        sim._scheduled += 1
+        _heappush(sim._heap, (time, sim._next_seq(), self, self._version))
+
+    def schedule_at(self, time: float) -> None:
+        """Arm (or re-anchor) the timer at absolute time ``time``."""
+        sim = self._sim
+        if not sim._now <= time < _INF:
+            if time < sim._now:
+                raise SchedulingError(
+                    f"cannot schedule at t={time!r} before now={sim._now!r}")
+            raise SchedulingError(f"invalid time: {time!r}")
+        if self._armed:
+            sim._cancelled_events += 1  # the live entry is superseded
+        else:
+            self._armed = True
+        self._version += 1
+        self._time = time
+        sim._scheduled += 1
+        _heappush(sim._heap, (time, sim._next_seq(), self, self._version))
+
+    def cancel(self) -> None:
+        """Disarm; safe to call when idle.  The heap entry is dropped
+        lazily when it surfaces."""
+        if self._armed:
+            self._armed = False
+            self._sim._cancelled_events += 1
 
 
 class Simulator:
@@ -230,27 +318,32 @@ class Simulator:
         heap = self._heap
         heappop = heapq.heappop
         heappush = heapq.heappush
+        handle_class = EventHandle
         try:
             if max_events is None and until is not None:
                 # Dominant case (run-until): no budget bookkeeping.
                 while heap and not self._stopped:
                     entry = heappop(heap)
+                    time = entry[0]
+                    if time > until:
+                        heappush(heap, entry)
+                        break
                     event = entry[2]
                     if event is None:
                         callback = entry[3]
                         args = entry[4]
-                    elif event._cancelled:
-                        continue
-                    else:
+                    elif event.__class__ is handle_class:
+                        if event._cancelled:
+                            continue
                         event._fired = True
                         callback = event.callback
                         args = event.args
-                    time = entry[0]
-                    if time > until:
-                        if event is not None:
-                            event._fired = False
-                        heappush(heap, entry)
-                        break
+                    else:  # Timer entry: (time, seq, timer, version)
+                        if event._version != entry[3] or not event._armed:
+                            continue  # superseded/cancelled: lazy drop
+                        event._armed = False
+                        callback = event._callback
+                        args = ()
                     self._now = time
                     self._events_executed += 1
                     callback(*args)
@@ -258,22 +351,26 @@ class Simulator:
                 budget = max_events if max_events is not None else _INF
                 while heap and not self._stopped and budget > 0:
                     entry = heappop(heap)
+                    time = entry[0]
+                    if until is not None and time > until:
+                        heappush(heap, entry)
+                        break
                     event = entry[2]
                     if event is None:
                         callback = entry[3]
                         args = entry[4]
-                    elif event._cancelled:
-                        continue
-                    else:
+                    elif event.__class__ is handle_class:
+                        if event._cancelled:
+                            continue
                         event._fired = True
                         callback = event.callback
                         args = event.args
-                    time = entry[0]
-                    if until is not None and time > until:
-                        if event is not None:
-                            event._fired = False
-                        heappush(heap, entry)
-                        break
+                    else:  # Timer entry: (time, seq, timer, version)
+                        if event._version != entry[3] or not event._armed:
+                            continue  # superseded/cancelled: lazy drop
+                        event._armed = False
+                        callback = event._callback
+                        args = ()
                     self._now = time
                     self._events_executed += 1
                     budget -= 1

@@ -19,6 +19,8 @@ from ..core.errors import ConfigurationError
 class BackoffWindow:
     """Contention-window state machine for one station."""
 
+    __slots__ = ("cw_min", "cw_max", "_cw", "_rng", "stage")
+
     def __init__(self, cw_min: int, cw_max: int, rng: random.Random):
         if cw_min < 1 or cw_max < cw_min:
             raise ConfigurationError(

@@ -4,8 +4,12 @@
 :class:`~repro.phy.transceiver.Radio`:
 
 * physical + virtual carrier sense (CCA + NAV),
-* DIFS/EIFS waits and slot-by-slot binary-exponential backoff that
-  freezes while the medium is busy,
+* DIFS/EIFS waits and binary-exponential backoff that freezes while
+  the medium is busy — counted down as a *single batched event* at
+  ``remaining_slots x slot_time`` (re-anchored on every CCA edge) with
+  slot-boundary float arithmetic and tie-break ordering identical to a
+  slot-by-slot countdown, so idle backoff costs O(1) events instead of
+  O(slots),
 * ACK-protected unicast with short/long retry limits and contention
   window doubling,
 * optional RTS/CTS reservation above the RTS threshold,
@@ -26,14 +30,14 @@ model — which is exactly what benchmark E10 checks.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as _dc_replace
 from typing import Any, Callable, Dict, List, Optional
 
-from ..core.engine import EventHandle, Simulator
-from ..core.errors import ConfigurationError, SimulationError
+from ..core.engine import Simulator, Timer
+from ..core.errors import ConfigurationError
 from ..core.stats import Counter
 from ..phy.standards import PhyMode
-from ..phy.transceiver import PhyListener, Radio, RadioState
+from ..phy.transceiver import Radio, RadioState
 from .addresses import BROADCAST, MacAddress
 
 #: Broadcast address as a raw integer for the per-frame receive path.
@@ -140,8 +144,27 @@ class _TxContext:
         return self.frag_index < len(self.fragments) - 1
 
 
-class DcfMac(PhyListener):
-    """One station's DCF MAC entity."""
+class DcfMac:
+    """One station's DCF MAC entity.
+
+    Contention timing rides on three reusable kernel
+    :class:`~repro.core.engine.Timer` objects (DIFS/EIFS wait, batched
+    backoff countdown, response timeout): they re-anchor on every CCA
+    edge without allocating an event handle per arm.  The countdown is
+    one event at the last slot boundary; freezing replays the elapsed
+    slot boundaries arithmetically (same floats the slot-by-slot
+    version produced) instead of having lived through them as events.
+    """
+
+    __slots__ = ("sim", "radio", "address", "config", "_rate_factory",
+                 "listener", "sniffer", "bssid", "power_management",
+                 "queue", "backoff", "nav", "dedup", "reassembler",
+                 "counters", "_controllers", "_sequence", "_current",
+                 "_backoff_remaining", "_ifs", "_countdown",
+                 "_countdown_anchor", "_countdown_remaining", "_response",
+                 "_pending_send", "_tx_continuation", "_awaiting",
+                 "_use_eifs", "_basic_mode", "_standard", "_slot_time",
+                 "_address_value")
 
     def __init__(self, sim: Simulator, radio: Radio, address: MacAddress,
                  config: Optional[DcfConfig] = None,
@@ -161,6 +184,11 @@ class DcfMac(PhyListener):
         #: When True, outgoing data frames carry the Power Management bit.
         self.power_management = False
 
+        # CCA edges bypass the phy_cca_* wrappers entirely: busy freezes
+        # the contention timers, idle (re-)arms the IFS wait.  The
+        # wrapper methods remain for listener-API compatibility.
+        radio.on_cca_busy = self._cancel_access_timers
+        radio.on_cca_idle = self._maybe_start_ifs
         standard = radio.standard
         rng = sim.rng.stream(f"mac.{address}")
         self.queue = DropTailQueue(sim, self.config.queue_capacity)
@@ -173,10 +201,12 @@ class DcfMac(PhyListener):
         self._sequence = 0
         self._current: Optional[_TxContext] = None
         self._backoff_remaining: Optional[int] = None
-        self._ifs_timer: Optional[EventHandle] = None
-        self._slot_timer: Optional[EventHandle] = None
-        self._response_timer: Optional[EventHandle] = None
-        self._pending_send: Optional[EventHandle] = None
+        self._ifs = Timer(sim, self._ifs_expired)
+        self._countdown = Timer(sim, self._access_won)
+        self._countdown_anchor = 0.0
+        self._countdown_remaining = 0
+        self._response = Timer(sim, self._response_timeout)
+        self._pending_send = Timer(sim, self._sifs_send_data)
         self._tx_continuation: Optional[Callable[[], None]] = None
         self._awaiting: Optional[str] = None  # "cts" | "ack" | None
         self._use_eifs = False
@@ -284,59 +314,88 @@ class DcfMac(PhyListener):
         # Equivalent to ``not radio.cca_busy() and not nav.busy`` with
         # the call layers flattened — this predicate runs on every CCA
         # edge and decoded frame in a saturated cell.
-        # KEEP IN SYNC with Radio.cca_busy / Radio._update_cca.
+        # KEEP IN SYNC with Radio.cca_busy / Radio._update_cca and the
+        # inlined copy in _maybe_start_ifs.
+        # A sleeping radio senses nothing but also cannot transmit, so
+        # for *contention* purposes it is never "idle" — the wake-up
+        # CCA kick (Radio.wake) resumes channel access.
         radio = self.radio
         state = radio._state
-        if state is RadioState.TX or state is RadioState.RX:
+        if state is not RadioState.IDLE:
             return False
-        if state is not RadioState.SLEEP and \
-                sum(radio._arrivals.values()) >= radio._cca_threshold_watts:
+        if sum(radio._arrivals.values()) >= radio._cca_threshold_watts:
             return False
         return self.sim._now >= self.nav._until
 
     def _maybe_start_ifs(self) -> None:
-        """Arm the DIFS/EIFS wait if we are contending and all is quiet."""
+        """Arm the DIFS/EIFS wait if we are contending and all is quiet.
+
+        Runs on every CCA-idle edge, TX completion and decoded frame;
+        the ``_medium_idle`` predicate is inlined (KEEP IN SYNC).
+        """
         if self._current is None or self._awaiting is not None:
             return
-        if self._tx_continuation is not None or self._pending_send is not None:
+        if self._tx_continuation is not None or self._pending_send._armed:
             return  # mid-exchange (about to transmit / SIFS response)
-        if self._ifs_timer is not None or self._slot_timer is not None:
+        if self._ifs._armed or self._countdown._armed:
             return
-        if not self._medium_idle():
+        radio = self.radio
+        if radio._state is not RadioState.IDLE:
+            return  # TX/RX: busy; SLEEP: cannot contend until woken
+        if sum(radio._arrivals.values()) >= radio._cca_threshold_watts:
+            return
+        if self.sim._now < self.nav._until:
             return
         standard = self._standard
-        wait = standard.eifs if self._use_eifs else standard.difs
-        self._ifs_timer = self.sim.schedule(wait, self._ifs_expired)
+        self._ifs.schedule(standard.eifs if self._use_eifs
+                           else standard.difs)
 
     def _cancel_access_timers(self) -> None:
-        if self._ifs_timer is not None:
-            self._ifs_timer.cancel()
-            self._ifs_timer = None
-        if self._slot_timer is not None:
-            self._slot_timer.cancel()
-            self._slot_timer = None
+        self._ifs.cancel()
+        countdown = self._countdown
+        if countdown._armed:
+            countdown.cancel()
+            # Freeze: replay the slot boundaries that elapsed since the
+            # anchor with the exact float fold the slot-by-slot
+            # countdown performed (anchor + slot + slot + ...), so the
+            # residual count and every future slot-grid timestamp are
+            # bit-identical to the per-slot implementation.  A boundary
+            # landing exactly on `now` has already been counted down:
+            # its tick event carried an earlier sequence number than
+            # the CCA-busy arrival that triggered this freeze (for
+            # sub-slot propagation delays, i.e. any 802.11 geometry).
+            slot = self._slot_time
+            boundary = self._countdown_anchor + slot
+            remaining = self._countdown_remaining
+            now = self.sim._now
+            while boundary <= now and remaining > 0:
+                remaining -= 1
+                boundary += slot
+            self._backoff_remaining = remaining
 
     def _ifs_expired(self) -> None:
-        self._ifs_timer = None
         self._use_eifs = False
-        if self._backoff_remaining is None:
-            self._backoff_remaining = self.backoff.draw()
-        if self._backoff_remaining <= 0:
+        remaining = self._backoff_remaining
+        if remaining is None:
+            remaining = self._backoff_remaining = self.backoff.draw()
+        if remaining <= 0:
             self._access_won()
-        else:
-            self._slot_timer = self.sim.schedule(
-                self._slot_time, self._slot_tick)
-
-    def _slot_tick(self) -> None:
-        self._slot_timer = None
-        if self._backoff_remaining is None:
-            raise SimulationError("slot tick without backoff state")
-        self._backoff_remaining -= 1
-        if self._backoff_remaining <= 0:
-            self._access_won()
-        else:
-            self._slot_timer = self.sim.schedule(
-                self._slot_time, self._slot_tick)
+            return
+        # Batched countdown: one event at the final slot boundary
+        # instead of one per slot.  The expiry instant is computed with
+        # the same left-fold float additions the per-slot chain used,
+        # and the timer's sequence number is drawn here — at the
+        # anchor — which preserves the per-slot winner ordering when
+        # several stations (re-)anchor on the same CCA edge and expire
+        # in the same slot.
+        anchor = self.sim._now
+        self._countdown_anchor = anchor
+        self._countdown_remaining = remaining
+        slot = self._slot_time
+        expiry = anchor
+        for _ in range(remaining):
+            expiry += slot
+        self._countdown.schedule_at(expiry)
 
     def _access_won(self) -> None:
         self._backoff_remaining = None
@@ -368,7 +427,6 @@ class DcfMac(PhyListener):
     def _frame_for(self, msdu: Msdu, mgmt: Optional[ManagementSubtype],
                    fragments: List[Fragment], index: int, sequence: int,
                    retry: bool) -> Dot11Frame:
-        from dataclasses import replace as _replace
         fragment = fragments[index]
         if msdu.meta.get("ps_poll"):
             frame = make_ps_poll(self.address, self.bssid,
@@ -401,7 +459,7 @@ class DcfMac(PhyListener):
                               to_ds=to_ds, from_ds=from_ds,
                               protected=msdu.protected)
         if self.power_management or msdu.meta.get("more_data"):
-            frame = _replace(frame, fc=_replace(
+            frame = _dc_replace(frame, fc=_dc_replace(
                 frame.fc,
                 power_management=self.power_management,
                 more_data=bool(msdu.meta.get("more_data"))))
@@ -443,8 +501,7 @@ class DcfMac(PhyListener):
         timeout = self.radio.standard.sifs + self._cts_time() + \
             self.radio.standard.slot_time + self.config.timeout_margin
         self._awaiting = "cts"
-        self._response_timer = self.sim.schedule(timeout,
-                                                 self._response_timeout)
+        self._response.schedule(timeout)
 
     def _send_data_fragment(self) -> None:
         ctx = self._current
@@ -472,15 +529,13 @@ class DcfMac(PhyListener):
 
     @staticmethod
     def _with_duration(frame: Dot11Frame, duration_us: int) -> Dot11Frame:
-        from dataclasses import replace
-        return replace(frame, duration_us=duration_us)
+        return _dc_replace(frame, duration_us=duration_us)
 
     def _after_data_tx(self) -> None:
         timeout = self.radio.standard.sifs + self._ack_time() + \
             self.radio.standard.slot_time + self.config.timeout_margin
         self._awaiting = "ack"
-        self._response_timer = self.sim.schedule(timeout,
-                                                 self._response_timeout)
+        self._response.schedule(timeout)
 
     def _after_broadcast_tx(self) -> None:
         self._complete_current(success=True)
@@ -589,8 +644,7 @@ class DcfMac(PhyListener):
                 ctx.cts_received = True
                 ctx.rts_attempts = 0
                 self.counters.incr("rx_cts")
-                self._pending_send = self.sim.schedule(
-                    self.radio.standard.sifs, self._sifs_send_data)
+                self._pending_send.schedule(self.radio.standard.sifs)
         elif frame.is_ack:
             if self._awaiting == "ack":
                 self._cancel_response_timer()
@@ -599,13 +653,16 @@ class DcfMac(PhyListener):
                 self._fragment_acked()
 
     def _sifs_send_data(self) -> None:
-        self._pending_send = None
         self._send_data_fragment()
 
     def _schedule_response(self, frame: Dot11Frame) -> None:
-        """Send a control response exactly one SIFS after reception."""
-        self.sim.schedule(self.radio.standard.sifs,
-                          self._transmit_response, frame)
+        """Send a control response exactly one SIFS after reception.
+
+        Fire-and-forget (responses are never cancelled), so the raw
+        no-handle fast path applies.
+        """
+        self.sim.schedule_fast(self.radio.standard.sifs,
+                               self._transmit_response, frame)
 
     def _transmit_response(self, frame: Dot11Frame) -> None:
         if self.radio.state.value in ("tx", "sleep"):
@@ -666,9 +723,7 @@ class DcfMac(PhyListener):
     # ----------------------------------------------------------- completion
 
     def _cancel_response_timer(self) -> None:
-        if self._response_timer is not None:
-            self._response_timer.cancel()
-            self._response_timer = None
+        self._response.cancel()
 
     def _fragment_acked(self) -> None:
         ctx = self._current
@@ -679,13 +734,11 @@ class DcfMac(PhyListener):
         if ctx.has_more_fragments:
             ctx.frag_index += 1
             self.counters.incr("fragments_sent")
-            self._pending_send = self.sim.schedule(
-                self.radio.standard.sifs, self._sifs_send_data)
+            self._pending_send.schedule(self.radio.standard.sifs)
         else:
             self._complete_current(success=True)
 
     def _response_timeout(self) -> None:
-        self._response_timer = None
         awaited = self._awaiting
         self._awaiting = None
         ctx = self._current

@@ -15,11 +15,18 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from ..core.engine import EventHandle, Simulator
+from ..core.engine import Simulator, Timer
 
 
 class Nav:
-    """Per-station NAV timer with an expiry callback."""
+    """Per-station NAV timer with an expiry callback.
+
+    Every overheard reservation extends the NAV and re-anchors the
+    expiry, so the timer churns on every overheard frame in a busy
+    cell; it therefore rides on the kernel's reusable
+    :class:`~repro.core.engine.Timer` (re-anchor without a fresh
+    :class:`~repro.core.engine.EventHandle` per update).
+    """
 
     __slots__ = ("_sim", "_until", "_on_expire", "_timer")
 
@@ -28,12 +35,12 @@ class Nav:
         self._sim = sim
         self._until = 0.0
         self._on_expire = on_expire
-        self._timer: Optional[EventHandle] = None
+        self._timer = Timer(sim, self._fire)
 
     @property
     def busy(self) -> bool:
         """True while the NAV reservation is in the future."""
-        return self._sim.now < self._until
+        return self._sim._now < self._until
 
     @property
     def until(self) -> float:
@@ -44,24 +51,18 @@ class Nav:
         if time <= self._until:
             return
         self._until = time
-        if self._timer is not None:
-            self._timer.cancel()
         if self._on_expire is not None:
-            self._timer = self._sim.schedule(max(time - self._sim.now, 0.0),
-                                             self._fire)
+            self._timer.schedule(max(time - self._sim._now, 0.0))
 
     def set_duration(self, duration: float) -> None:
         """Extend the NAV ``duration`` seconds from now."""
-        self.set_until(self._sim.now + duration)
+        self.set_until(self._sim._now + duration)
 
     def clear(self) -> None:
         """Cancel the reservation (e.g. CF-End, or test teardown)."""
         self._until = 0.0
-        if self._timer is not None:
-            self._timer.cancel()
-            self._timer = None
+        self._timer.cancel()
 
     def _fire(self) -> None:
-        self._timer = None
         if not self.busy and self._on_expire is not None:
             self._on_expire()

@@ -22,7 +22,7 @@ from __future__ import annotations
 from enum import Enum
 from typing import Any, Callable, Dict, List, Optional
 
-from ..core.engine import EventHandle, PeriodicTask
+from ..core.engine import PeriodicTask, Timer
 from ..core.errors import ProtocolError
 from ..core.stats import Counter
 from ..mac.addresses import BROADCAST, MacAddress
@@ -90,9 +90,15 @@ class Station(WirelessDevice):
         self.target_ssid: Optional[str] = None
         self.serving_ap: Optional[MacAddress] = None
         self._target_bssid: Optional[MacAddress] = None
-        self._mgmt_timer: Optional[EventHandle] = None
+        # Management/scan/power-save deadlines ride on reusable kernel
+        # Timers (the same re-anchorable primitive the MAC contention
+        # machinery uses) — they are armed and re-armed constantly
+        # during scans and PS cycles.
+        self._mgmt_timer = Timer(self.sim, self._mgmt_timeout)
+        self._mgmt_retry: Optional[Callable[[], None]] = None
         self._mgmt_attempts = 0
-        self._scan_timer: Optional[EventHandle] = None
+        self._scan_timer = Timer(self.sim, self._scan_next_channel)
+        self._rescan_timer = Timer(self.sim, self._retry_scan)
         self._scan_channels: List[int] = []
         self._scan_dwell = 0.0
         self._scan_active = False
@@ -107,8 +113,8 @@ class Station(WirelessDevice):
         self._ps_retrieving = False
         self._ps_guard = 2e-3
         self._ps_awake_window = 8e-3
-        self._ps_doze_handle: Optional[EventHandle] = None
-        self._ps_wake_handle: Optional[EventHandle] = None
+        self._ps_doze_timer = Timer(self.sim, self._ps_try_doze)
+        self._ps_wake_timer = Timer(self.sim, self._ps_wake)
 
     # --- hooks ------------------------------------------------------------
 
@@ -184,16 +190,11 @@ class Station(WirelessDevice):
         self.sta_counters.incr("ps_disabled")
 
     def _cancel_ps_timers(self) -> None:
-        for handle_name in ("_ps_doze_handle", "_ps_wake_handle"):
-            handle = getattr(self, handle_name)
-            if handle is not None:
-                handle.cancel()
-                setattr(self, handle_name, None)
+        self._ps_doze_timer.cancel()
+        self._ps_wake_timer.cancel()
 
     def _schedule_ps_doze(self, delay: float) -> None:
-        if self._ps_doze_handle is not None:
-            self._ps_doze_handle.cancel()
-        self._ps_doze_handle = self.sim.schedule(delay, self._ps_try_doze)
+        self._ps_doze_timer.schedule(delay)
 
     def _beacon_interval_seconds(self) -> float:
         serving = self.tracker.get(self.serving_ap) \
@@ -203,7 +204,6 @@ class Station(WirelessDevice):
         return interval_tu * TU_SECONDS
 
     def _ps_try_doze(self) -> None:
-        self._ps_doze_handle = None
         if not self.power_save or not self.associated:
             return
         if self._ps_retrieving or not self.mac.idle:
@@ -214,13 +214,10 @@ class Station(WirelessDevice):
         next_beacon = self._last_beacon_from_serving + interval
         while next_beacon - self._ps_guard <= self.sim.now:
             next_beacon += interval
-        if self._ps_wake_handle is not None:
-            self._ps_wake_handle.cancel()
-        self._ps_wake_handle = self.sim.schedule(
-            next_beacon - self._ps_guard - self.sim.now, self._ps_wake)
+        self._ps_wake_timer.schedule(
+            next_beacon - self._ps_guard - self.sim.now)
 
     def _ps_wake(self) -> None:
-        self._ps_wake_handle = None
         if not self.power_save:
             return
         self.radio.wake()
@@ -262,10 +259,9 @@ class Station(WirelessDevice):
             self._finish_scan()
             return
         self.radio.channel_id = self._scan_channels.pop(0)
-        if getattr(self, "_scan_active", False) and self.target_ssid:
+        if self._scan_active and self.target_ssid:
             self._send_probe_request(self.target_ssid)
-        self._scan_timer = self.sim.schedule(self._scan_dwell,
-                                             self._scan_next_channel)
+        self._scan_timer.schedule(self._scan_dwell)
 
     def _send_probe_request(self, ssid: str) -> None:
         from ..mac.addresses import BROADCAST as _BROADCAST
@@ -276,17 +272,17 @@ class Station(WirelessDevice):
                                  _BROADCAST, body)
 
     def _finish_scan(self) -> None:
-        self._scan_timer = None
         assert self.target_ssid is not None
         best = self.tracker.best(self.target_ssid)
         if best is None:
             # Nothing heard: retry the scan after a beat.
             self.sta_counters.incr("scan_empty")
-            self._scan_timer = self.sim.schedule(
-                0.2, lambda: self.start_scan(self.target_ssid or "",
-                                             dwell=self._scan_dwell))
+            self._rescan_timer.schedule(0.2)
             return
         self._begin_authentication(best)
+
+    def _retry_scan(self) -> None:
+        self.start_scan(self.target_ssid or "", dwell=self._scan_dwell)
 
     def associate(self, ssid: str,
                   channels: Optional[List[int]] = None) -> None:
@@ -325,17 +321,15 @@ class Station(WirelessDevice):
         self._arm_mgmt_timer(self._send_assoc_request)
 
     def _arm_mgmt_timer(self, retry: Callable[[], None]) -> None:
-        self._cancel_mgmt_timer()
-        self._mgmt_timer = self.sim.schedule(self.MGMT_TIMEOUT,
-                                             self._mgmt_timeout, retry)
+        self._mgmt_retry = retry
+        self._mgmt_timer.schedule(self.MGMT_TIMEOUT)
 
     def _cancel_mgmt_timer(self) -> None:
-        if self._mgmt_timer is not None:
-            self._mgmt_timer.cancel()
-            self._mgmt_timer = None
+        self._mgmt_timer.cancel()
 
-    def _mgmt_timeout(self, retry: Callable[[], None]) -> None:
-        self._mgmt_timer = None
+    def _mgmt_timeout(self) -> None:
+        retry = self._mgmt_retry
+        assert retry is not None
         if self._mgmt_attempts >= self.MGMT_RETRIES:
             # Give up on this AP; forget it and rescan.
             self.sta_counters.incr("mgmt_failures")

@@ -24,6 +24,7 @@ models call :meth:`Medium.invalidate_links`).
 from __future__ import annotations
 
 import itertools
+from heapq import heappush as _heappush
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.engine import Simulator
@@ -161,12 +162,32 @@ class Medium:
         self.links = LinkCache()
         self._radios: List[Radio] = []
         self._active: Dict[int, List[Transmission]] = {}
+        # Per-channel fan-out lists: ``(radio, arrival_begins,
+        # arrival_ends)`` with the bound methods pre-resolved (attach
+        # order preserved, so the arrival fan-out visits receivers in
+        # the same deterministic order as a scan of the full radio
+        # list).  Invalidated wholesale on attach and on any retune.
+        self._by_channel: Dict[int, List[Tuple[Radio, Any, Any]]] = {}
 
     def attach(self, radio: Radio) -> None:
         """Register a radio (called from the Radio constructor)."""
         if radio in self._radios:
             raise ConfigurationError(f"radio {radio.name} attached twice")
         self._radios.append(radio)
+        self._by_channel.clear()
+
+    def invalidate_channels(self) -> None:
+        """Drop the per-channel radio lists (a radio retuned)."""
+        self._by_channel.clear()
+
+    def _channel_members(self, channel_id: int) -> List[Tuple[Radio, Any, Any]]:
+        members = self._by_channel.get(channel_id)
+        if members is None:
+            members = [(radio, radio.arrival_begins, radio.arrival_ends)
+                       for radio in self._radios
+                       if radio._channel_id == channel_id]
+            self._by_channel[channel_id] = members
+        return members
 
     def invalidate_links(self, radio: Optional[Radio] = None) -> None:
         """Invalidate cached link budgets (all, or one radio's links).
@@ -178,8 +199,8 @@ class Medium:
         self.links.invalidate(radio)
 
     def radios_on_channel(self, channel_id: int) -> List[Radio]:
-        return [radio for radio in self._radios
-                if radio.channel_id == channel_id]
+        return [radio for radio, _begins, _ends
+                in self._channel_members(channel_id)]
 
     def active_transmissions(self, channel_id: int) -> List[Transmission]:
         """Transmissions currently on the air on a channel."""
@@ -195,20 +216,27 @@ class Medium:
                  mode: PhyMode, duration: float, power_watts: float
                  ) -> Transmission:
         """Fan a frame out to every audible co-channel radio."""
-        now = self.sim.now
-        channel = sender.channel_id
+        sim = self.sim
+        now = sim._now
+        channel = sender._channel_id
         transmission = Transmission(sender, payload, size_bits, mode,
                                     power_watts, now, duration)
         self._active.setdefault(channel, []).append(transmission)
         self.active_transmissions(channel)  # opportunistic GC
-        # Hot loop: bind everything once; one cache lookup per receiver.
+        # Hot loop: bind everything once; one cache lookup per receiver
+        # and two raw heap pushes (schedule_fast_at inlined — the
+        # delays are nonnegative by construction, so the bounds checks
+        # are redundant here; entry shape and seq consumption are
+        # identical to the schedule_fast_at path).
         floor = self.reception_floor_watts
-        schedule_fast_at = self.sim.schedule_fast_at
         propagation = self.propagation
         model_delay = self.propagation_delay
         lookup = self.links.lookup if self.cache_links else None
-        for receiver in self._radios:
-            if receiver is sender or receiver.channel_id != channel:
+        heap = sim._heap
+        next_seq = sim._next_seq
+        scheduled = 0
+        for receiver, begins, ends in self._channel_members(channel):
+            if receiver is sender:
                 continue
             if lookup is not None:
                 entry = lookup(propagation, sender, receiver, power_watts)
@@ -225,14 +253,16 @@ class Medium:
                     continue
                 delay = tx_pos.distance_to(rx_pos) / SPEED_OF_LIGHT \
                     if model_delay else 0.0
-            schedule_fast_at(now + delay, receiver.arrival_begins,
-                             transmission, rx_power)
+            _heappush(heap, (now + delay, next_seq(), None, begins,
+                             (transmission, rx_power)))
             # Parenthesized to match the historical relative-delay float
             # arithmetic exactly: now + (delay + duration), NOT
             # (now + delay) + duration — the ulp difference is enough to
             # reorder CCA edges and desynchronize seeded runs.
-            schedule_fast_at(now + (delay + duration),
-                             receiver.arrival_ends, transmission)
+            _heappush(heap, (now + (delay + duration), next_seq(), None,
+                             ends, (transmission,)))
+            scheduled += 2
+        sim._scheduled += scheduled
         return transmission
 
     # --- link budget introspection (used by scanning / benchmarks) ----------

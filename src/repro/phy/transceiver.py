@@ -10,15 +10,23 @@ and a MAC.  Its responsibilities:
   medium turns busy or idle — the DCF backoff freezes on these edges,
 * decide frame delivery with the error model on the integrated SINR.
 
-The MAC registers a :class:`PhyListener`; all upcalls go through it.
+Upcalls to the MAC go through four direct bound-method slots —
+:attr:`Radio.on_rx_end`, :attr:`Radio.on_tx_end`,
+:attr:`Radio.on_cca_busy`, :attr:`Radio.on_cca_idle` — so the hot path
+(every arrival edge of every frame, at every co-channel radio) does a
+single attribute load and call instead of walking through a listener
+object.  The classic :class:`PhyListener` interface remains as the
+convenience surface: assigning :attr:`Radio.listener` rebinds all four
+slots from the listener's methods.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Any, Dict, Optional, Set, TYPE_CHECKING
+from typing import Any, Callable, Dict, Optional, Set, TYPE_CHECKING
 
+from ..core.engine import Timer
 from ..core.errors import SimulationError
 from ..core.topology import Position
 from ..core.units import dbm_to_watts, linear_to_db, watts_to_dbm
@@ -39,7 +47,12 @@ class RadioState(Enum):
 
 class PhyListener:
     """Upcall interface the MAC implements.  Default methods are no-ops
-    so simple listeners only override what they need."""
+    so simple listeners only override what they need.
+
+    Assigning an instance to :attr:`Radio.listener` copies its four
+    bound methods into the radio's direct upcall slots; overriding a
+    listener method *after* assignment therefore requires re-assigning
+    the listener (or setting the slot directly)."""
 
     def phy_rx_end(self, payload: Any, success: bool, snr_db: float,
                    mode: PhyMode) -> None:
@@ -53,19 +66,6 @@ class PhyListener:
 
     def phy_cca_idle(self) -> None:
         """Medium transitioned busy -> idle."""
-
-
-class _Reception:
-    """Book-keeping for the transmission the radio is locked onto."""
-
-    __slots__ = ("transmission", "power_watts", "tracker", "end_handle")
-
-    def __init__(self, transmission: "Transmission", power_watts: float,
-                 tracker: SinrTracker, end_handle: Any):
-        self.transmission = transmission
-        self.power_watts = power_watts
-        self.tracker = tracker
-        self.end_handle = end_handle
 
 
 @dataclass
@@ -83,6 +83,15 @@ class RadioConfig:
 class Radio:
     """Half-duplex radio bound to one medium, one standard, one channel."""
 
+    __slots__ = ("name", "medium", "standard", "_position", "_channel_id",
+                 "config", "error_model", "_listener", "on_rx_end",
+                 "on_tx_end", "on_cca_busy", "on_cca_idle",
+                 "on_state_change", "_state", "tx_power_watts",
+                 "_noise_watts", "_cca_threshold_watts", "decodable_modes",
+                 "_tx_mode_names", "_arrivals", "_locked", "_locked_power",
+                 "_locked_tracker", "_cca_busy", "_sim", "_rng", "_trace",
+                 "_rx_timer", "_capture", "_snr_cache")
+
     def __init__(self, name: str, medium: "Medium", standard: PhyStandard,
                  position: Position, channel_id: int = 1,
                  config: Optional[RadioConfig] = None,
@@ -91,10 +100,17 @@ class Radio:
         self.medium = medium
         self.standard = standard
         self._position = position
-        self.channel_id = channel_id
+        self._channel_id = channel_id
         self.config = config if config is not None else RadioConfig()
         self.error_model = error_model if error_model is not None else BerErrorModel()
-        self.listener: PhyListener = PhyListener()
+        # Direct upcall slots — the flattened hot path.  `listener`
+        # below rebinds all four from a PhyListener-style object.
+        self._listener: PhyListener = PhyListener()
+        self.on_rx_end: Callable[[Any, bool, float, PhyMode], None] = \
+            self._listener.phy_rx_end
+        self.on_tx_end: Callable[[], None] = self._listener.phy_tx_end
+        self.on_cca_busy: Callable[[], None] = self._listener.phy_cca_busy
+        self.on_cca_idle: Callable[[], None] = self._listener.phy_cca_idle
         #: Optional hook fired with the new state name on every radio
         #: state transition (used by the energy meter).
         self.on_state_change = None
@@ -103,7 +119,7 @@ class Radio:
                   if self.config.tx_power_dbm is not None
                   else standard.default_tx_power_dbm)
         self.tx_power_watts = dbm_to_watts(tx_dbm)
-        self.noise_watts = standard.noise_floor_watts
+        self._noise_watts = standard.noise_floor_watts
         self._cca_threshold_watts = dbm_to_watts(self.config.cca_threshold_dbm)
         #: Mode names this radio can decode; starts as the standard's own
         #: ladder and may be extended (e.g. a "mixed-mode" 802.11g radio
@@ -112,14 +128,38 @@ class Radio:
         self._tx_mode_names = {mode.name for mode in standard.modes}
         # Arrivals currently incident on the antenna: transmission -> rx power.
         self._arrivals: Dict["Transmission", float] = {}
-        self._locked: Optional[_Reception] = None
+        # The transmission currently locked for reception (plus its
+        # receive power and SINR tracker, flattened into slots).
+        self._locked: Optional["Transmission"] = None
+        self._locked_power = 0.0
+        self._locked_tracker: Optional[SinrTracker] = None
         self._cca_busy = False
         self._sim = medium.sim
         self._rng = medium.sim.rng.stream(f"radio.{name}")
         self._trace = medium.sim.trace
+        self._rx_timer = Timer(medium.sim, self._reception_complete)
+        self._capture = self.config.capture
+        # Memoized preamble SNR per exact receive power (pure function
+        # of power/noise; static links repeat the same few powers).
+        self._snr_cache: Dict[float, float] = {}
         medium.attach(self)
 
     # --- helpers ----------------------------------------------------------
+
+    @property
+    def listener(self) -> PhyListener:
+        """The registered upcall object (compatibility surface)."""
+        return self._listener
+
+    @listener.setter
+    def listener(self, value: PhyListener) -> None:
+        """Register a listener by copying its methods into the direct
+        upcall slots (the hot path never touches the listener object)."""
+        self._listener = value
+        self.on_rx_end = value.phy_rx_end
+        self.on_tx_end = value.phy_tx_end
+        self.on_cca_busy = value.phy_cca_busy
+        self.on_cca_idle = value.phy_cca_idle
 
     @property
     def position(self) -> Position:
@@ -132,6 +172,31 @@ class Radio:
             return
         self._position = value
         self.medium.invalidate_links(self)
+
+    @property
+    def noise_watts(self) -> float:
+        return self._noise_watts
+
+    @noise_watts.setter
+    def noise_watts(self, value: float) -> None:
+        """Change the noise floor; invalidates the memoized preamble
+        SNRs (which are pure functions of power / noise)."""
+        if value == self._noise_watts:
+            return
+        self._noise_watts = value
+        self._snr_cache.clear()
+
+    @property
+    def channel_id(self) -> int:
+        return self._channel_id
+
+    @channel_id.setter
+    def channel_id(self, value: int) -> None:
+        """Retune; invalidates the medium's per-channel receiver lists."""
+        if value == self._channel_id:
+            return
+        self._channel_id = value
+        self.medium.invalidate_channels()
 
     @property
     def state(self) -> RadioState:
@@ -185,7 +250,7 @@ class Radio:
     def _tx_complete(self) -> None:
         self.state = RadioState.IDLE
         self._update_cca()
-        self.listener.phy_tx_end()
+        self.on_tx_end()
 
     # --- sleep ------------------------------------------------------------
 
@@ -201,85 +266,127 @@ class Radio:
         if self.state == RadioState.SLEEP:
             self.state = RadioState.IDLE
             self._update_cca()
+            # A MAC that queued frames while asleep never saw a CCA
+            # edge (sleeping radios do not contend), so kick it if the
+            # medium is quiet — _update_cca above only fires on a
+            # busy/idle *transition*, and idle->idle is no transition.
+            if not self._cca_busy:
+                self.on_cca_idle()
 
     # --- receive path (called by the Medium) --------------------------------
 
     def arrival_begins(self, transmission: "Transmission",
                        power_watts: float) -> None:
-        """A transmission's energy starts arriving at our antenna."""
+        """A transmission's energy starts arriving at our antenna.
+
+        The hottest callback in any run (once per frame per co-channel
+        radio); ``_update_cca`` is inlined at the tail (KEEP IN SYNC).
+        """
         self._arrivals[transmission] = power_watts
         state = self._state
         if state is RadioState.SLEEP:
             return
-        locked = self._locked
-        if locked is not None:
-            if self.config.capture.should_capture(locked.power_watts,
-                                                  power_watts):
+        if self._locked is not None:
+            if self._capture.should_capture(self._locked_power,
+                                            power_watts):
                 self._abort_locked()
                 self._try_lock(transmission, power_watts)
             else:
                 self._refresh_interference()
         elif state is RadioState.IDLE:
             self._try_lock(transmission, power_watts)
-        self._update_cca()
+        state = self._state
+        if state is RadioState.TX or state is RadioState.RX:
+            busy = True
+        else:
+            busy = sum(self._arrivals.values()) >= self._cca_threshold_watts
+        if busy != self._cca_busy:
+            self._cca_busy = busy
+            if busy:
+                self.on_cca_busy()
+            else:
+                self.on_cca_idle()
 
     def arrival_ends(self, transmission: "Transmission") -> None:
-        """A transmission's energy stops arriving (its airtime elapsed)."""
+        """A transmission's energy stops arriving (its airtime elapsed).
+
+        ``_update_cca`` inlined at the tail (KEEP IN SYNC).
+        """
         self._arrivals.pop(transmission, None)
         locked = self._locked
-        if locked is not None and locked.transmission is not transmission:
+        if locked is not None and locked is not transmission:
             self._refresh_interference()
-        self._update_cca()
+        state = self._state
+        if state is RadioState.TX or state is RadioState.RX:
+            busy = True
+        elif state is RadioState.SLEEP:
+            busy = False
+        else:
+            busy = sum(self._arrivals.values()) >= self._cca_threshold_watts
+        if busy != self._cca_busy:
+            self._cca_busy = busy
+            if busy:
+                self.on_cca_busy()
+            else:
+                self.on_cca_idle()
 
     def _try_lock(self, transmission: "Transmission",
                   power_watts: float) -> None:
         # Kept as the historical dB-space comparison deliberately: a
         # linear-domain rewrite disagrees within a few ulp of the
         # threshold, which is enough to desynchronize a seeded run.
-        snr_db = linear_to_db(power_watts / self.noise_watts) \
-            if self.noise_watts > 0 else float("inf")
+        # Memoized on the exact receive power (one log10 per distinct
+        # link budget instead of one per arrival).
+        snr_db = self._snr_cache.get(power_watts)
+        if snr_db is None:
+            snr_db = linear_to_db(power_watts / self.noise_watts) \
+                if self.noise_watts > 0 else float("inf")
+            if len(self._snr_cache) >= 4096:
+                self._snr_cache.clear()
+            self._snr_cache[power_watts] = snr_db
         if snr_db < self.config.preamble_detection_snr_db:
             return  # too weak to even see a preamble: pure noise
         if transmission.mode.name not in self.decodable_modes:
             return  # foreign PHY: energy only
         sim = self._sim
         interference = sum(self._arrivals.values()) - power_watts
-        tracker = SinrTracker(power_watts, self.noise_watts, sim.now,
-                              interference)
         # _try_lock only ever runs at the instant the energy starts
         # arriving, so the frame's tail lands exactly one airtime later
         # (the propagation delay shifted the whole frame, not its length).
-        end_handle = sim.schedule(transmission.duration,
-                                  self._reception_complete,
-                                  transmission)
-        self._locked = _Reception(transmission, power_watts, tracker, end_handle)
+        self._rx_timer.schedule(transmission.duration)
+        self._locked = transmission
+        self._locked_power = power_watts
+        self._locked_tracker = SinrTracker(power_watts, self.noise_watts,
+                                           sim._now, interference)
         self.state = RadioState.RX
 
     def _refresh_interference(self) -> None:
-        locked = self._locked
-        if locked is None:
+        if self._locked is None:
             return
-        interference = sum(self._arrivals.values()) - locked.power_watts
+        interference = sum(self._arrivals.values()) - self._locked_power
         # The locked signal may have already left the arrival table if it
         # ended; guard against a small negative residue.
-        locked.tracker.set_interference(self._sim.now,
-                                        max(interference, 0.0))
+        self._locked_tracker.set_interference(self._sim._now,
+                                              max(interference, 0.0))
 
     def _abort_locked(self) -> None:
         assert self._locked is not None
-        self._locked.end_handle.cancel()
+        self._rx_timer.cancel()
         self._locked = None
+        self._locked_tracker = None
         if self.state == RadioState.RX:
             self.state = RadioState.IDLE
 
-    def _reception_complete(self, transmission: "Transmission") -> None:
-        reception = self._locked
-        if reception is None or reception.transmission is not transmission:
-            return  # lock was stolen or aborted meanwhile
+    def _reception_complete(self) -> None:
+        transmission = self._locked
+        if transmission is None:
+            return  # lock was aborted meanwhile (defensive; timer cancels)
+        tracker = self._locked_tracker
         self._locked = None
+        self._locked_tracker = None
         self.state = RadioState.IDLE
-        now = self._sim.now
-        snr_db = reception.tracker.sinr_db(now)
+        now = self._sim._now
+        snr_db = tracker.sinr_db(now)
         success = self.error_model.frame_survives(
             snr_db, transmission.size_bits, transmission.mode.modulation,
             self._rng)
@@ -289,8 +396,8 @@ class Radio:
                          ok=success, snr=round(snr_db, 1),
                          mode=transmission.mode.name)
         self._update_cca()
-        self.listener.phy_rx_end(transmission.payload, success, snr_db,
-                                 transmission.mode)
+        self.on_rx_end(transmission.payload, success, snr_db,
+                       transmission.mode)
 
     # --- CCA ---------------------------------------------------------------
 
@@ -322,9 +429,9 @@ class Radio:
             return
         self._cca_busy = busy
         if busy:
-            self.listener.phy_cca_busy()
+            self.on_cca_busy()
         else:
-            self.listener.phy_cca_idle()
+            self.on_cca_idle()
 
     # --- introspection -------------------------------------------------------
 

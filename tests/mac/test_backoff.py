@@ -75,6 +75,57 @@ class TestDraws:
         assert a == b
 
 
+class TestClampAtMaximum:
+    """The window must saturate at ``cw_max`` no matter how long a
+    failure streak runs, keep drawing within the clamped bound, and
+    fully recover on the next success."""
+
+    @given(st.integers(min_value=7, max_value=200))
+    def test_clamps_at_cw_max_under_repeated_failures(self, failures):
+        w = window(cw_min=15, cw_max=255)
+        for _ in range(failures):
+            w.on_failure()
+        assert w.cw == 255
+        assert w.stage == failures  # the stage keeps counting past clamp
+
+    def test_draws_respect_the_clamp(self):
+        w = window(cw_min=15, cw_max=63, seed=11)
+        for _ in range(20):
+            w.on_failure()
+        draws = [w.draw() for _ in range(300)]
+        assert max(draws) <= 63
+        # The full clamped range stays reachable (not stuck at cw_min).
+        assert max(draws) > 15
+
+    def test_success_resets_from_the_clamp(self):
+        w = window(cw_min=15, cw_max=63)
+        for _ in range(20):
+            w.on_failure()
+        assert w.cw == 63
+        w.on_success()
+        assert w.cw == 15
+        assert w.stage == 0
+        # The doubling ladder restarts from scratch after the reset.
+        w.on_failure()
+        assert w.cw == 31
+
+    def test_drop_reset_also_clears_the_clamp(self):
+        w = window(cw_min=15, cw_max=63)
+        for _ in range(20):
+            w.on_failure()
+        w.reset()
+        assert w.cw == 15
+        assert w.stage == 0
+
+    def test_degenerate_equal_bounds_stay_fixed(self):
+        w = window(cw_min=31, cw_max=31)
+        for _ in range(5):
+            w.on_failure()
+        assert w.cw == 31
+        for _ in range(50):
+            assert 0 <= w.draw() <= 31
+
+
 class TestValidation:
     def test_bad_bounds_rejected(self):
         with pytest.raises(ConfigurationError):

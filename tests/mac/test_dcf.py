@@ -290,3 +290,20 @@ class TestQueueBehaviour:
         assert not tx.idle
         sim.run(until=0.5)
         assert tx.idle
+
+
+class TestSleepingRadio:
+    def test_queued_frame_waits_for_wake(self, sim):
+        """A MAC whose radio sleeps must not contend (and certainly not
+        crash in transmit); the frame goes out after wake()."""
+        _, nodes = build_network(sim)
+        (tx, tx_up), (rx, rx_up) = nodes
+        tx.radio.sleep()
+        assert tx.send(rx.address, b"patience")
+        sim.run(until=0.2)
+        assert rx_up.received == []  # still asleep: nothing sent
+        assert tx.radio.state.value == "sleep"
+        tx.radio.wake()
+        sim.run(until=0.7)
+        assert [entry[2] for entry in rx_up.received] == [b"patience"]
+        assert tx_up.completions[0][1] is True

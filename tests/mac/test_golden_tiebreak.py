@@ -1,0 +1,61 @@
+"""Golden-trace regression test for backoff tie-break ordering.
+
+The fixture was captured from the slot-by-slot countdown implementation
+(pre-batching), on a topology engineered so stations share perfectly
+aligned slot grids and repeatedly draw backoffs that expire in the
+*same slot*.  The batched countdown must reproduce the entire protocol
+event trace — including who wins each same-slot tie and which pairs
+collide — byte for byte.
+
+Regenerate deliberately with::
+
+    PYTHONPATH=src:benchmarks:tests python tools/capture_golden.py --fixture
+
+only from a commit whose contention behavior is the intended reference.
+"""
+
+import json
+import pathlib
+
+from golden_tiebreak import (SCENARIO_VERSION, run_tiebreak_scenario,
+                             same_slot_transmissions)
+
+FIXTURE_PATH = pathlib.Path(__file__).parent / "fixtures" / \
+    "tiebreak_trace.json"
+
+
+def _load_fixture():
+    return json.loads(FIXTURE_PATH.read_text())
+
+
+def test_fixture_matches_scenario_version():
+    assert _load_fixture()["scenario_version"] == SCENARIO_VERSION, (
+        "scenario changed without regenerating the fixture "
+        "(tools/capture_golden.py --fixture)")
+
+
+def test_fixture_contains_same_slot_ties():
+    """The fixture is only meaningful if ties actually occur."""
+    fixture = _load_fixture()
+    assert fixture["same_slot_ties"] >= 1
+    assert same_slot_transmissions(fixture["trace"]) == \
+        fixture["same_slot_ties"]
+
+
+def test_tiebreak_trace_is_byte_identical_to_golden():
+    """Same seed -> the per-slot-era winner/collision sequence, exactly."""
+    fixture = _load_fixture()
+    lines, stats = run_tiebreak_scenario()
+    assert stats == fixture["stats"]
+    # Compare a line count first for a readable failure, then the
+    # full byte-exact sequence.
+    assert len(lines) == len(fixture["trace"])
+    for index, (got, want) in enumerate(zip(lines, fixture["trace"])):
+        assert got == want, (
+            f"trace diverges at line {index}: {got!r} != {want!r}")
+
+
+def test_same_slot_ties_reproduce():
+    lines, _stats = run_tiebreak_scenario()
+    assert same_slot_transmissions(lines) == \
+        _load_fixture()["same_slot_ties"]

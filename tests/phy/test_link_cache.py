@@ -108,23 +108,25 @@ class TestCachedVersusUncachedDeterminism:
     def test_same_seed_same_delivery(self):
         """A full transmit/receive cycle with the cache on and off must
         deliver identical payloads at identical powers."""
+        arrivals = []
+
+        class SpyRadio(Radio):
+            # Radio itself is __slots__-only; a subclass is the hook
+            # point for observing per-arrival powers.
+            def arrival_begins(self, transmission, power):
+                arrivals.append(power)
+                Radio.arrival_begins(self, transmission, power)
+
         def run(cache_links):
             sim = Simulator(seed=3)
             medium = _medium(sim, cache_links=cache_links)
             tx = Radio("tx", medium, DOT11B, Position(0, 0, 0))
-            rx = Radio("rx", medium, DOT11B, Position(12, 0, 0))
-            arrivals = []
-            original = rx.arrival_begins
-
-            def spy(transmission, power):
-                arrivals.append(power)
-                original(transmission, power)
-
-            rx.arrival_begins = spy
+            rx = SpyRadio("rx", medium, DOT11B, Position(12, 0, 0))
+            arrivals.clear()
             mode = DOT11B.modes[0]
             for _ in range(5):
                 tx.transmit(b"payload", 800, mode)
                 sim.run(until=sim.now + 0.01)
-            return arrivals
+            return list(arrivals)
 
         assert run(True) == run(False)

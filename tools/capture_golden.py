@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Capture seeded golden traces for the determinism contract.
+
+Runs the DES macro-scenarios with full tracing enabled and dumps each
+protocol event trace (repr-exact timestamps) plus the seeded stats to a
+directory.  Used two ways:
+
+* Around a refactor: capture before, capture after, ``diff -r`` — the
+  byte-identical-traces acceptance check.
+
+      PYTHONPATH=src:benchmarks:tests python tools/capture_golden.py /tmp/before
+      ... refactor ...
+      PYTHONPATH=src:benchmarks:tests python tools/capture_golden.py /tmp/after
+      diff -r /tmp/before /tmp/after
+
+* ``--fixture``: regenerate the committed backoff tie-break fixture
+  (``tests/mac/fixtures/tiebreak_trace.json``).  Only do this
+  deliberately, from a commit whose contention behavior is the intended
+  reference.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Any, Dict
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+sys.path.insert(0, str(REPO_ROOT / "tests"))
+
+FIXTURE_PATH = REPO_ROOT / "tests" / "mac" / "fixtures" / "tiebreak_trace.json"
+
+#: Macros whose runs are DES-driven (wep_audit has no event trace).
+TRACED_MACROS = ("dcf_saturation", "dcf_saturation_100", "multi_bss",
+                 "hidden_terminal", "roaming_ess")
+
+
+def capture_macros(out_dir: pathlib.Path, scale: float) -> None:
+    from perf import macro as macro_mod
+    from repro.core.engine import Simulator
+    from repro.core.trace import TraceLog
+
+    captured: Dict[str, Any] = {}
+
+    def traced_simulator(seed: int) -> Simulator:
+        trace = TraceLog(capacity=None, enabled=True)
+        sim = Simulator(seed=seed, trace=trace)
+        captured["sim"] = sim
+        return sim
+
+    macro_mod._perf_simulator = traced_simulator
+    for name in TRACED_MACROS:
+        result = macro_mod.MACROS[name](scale)
+        sim = captured["sim"]
+        lines = [
+            f"{record.time!r} {record.source} {record.event} "
+            + " ".join(f"{key}={value!r}"
+                       for key, value in sorted(record.detail.items()))
+            for record in sim.trace
+        ]
+        (out_dir / f"{name}.trace").write_text("\n".join(lines) + "\n")
+        stats = {key: value for key, value in result["stats"].items()
+                 if key != "events"}
+        stats["protocol_events"] = len(lines)
+        (out_dir / f"{name}.stats.json").write_text(
+            json.dumps(stats, indent=2, sort_keys=True) + "\n")
+        print(f"{name:20s} {len(lines):8d} trace lines -> {out_dir}")
+    # wep_audit: stats only (pure computation, no event trace).
+    result = macro_mod.MACROS["wep_audit"](min(scale, 1.0))
+    (out_dir / "wep_audit.stats.json").write_text(
+        json.dumps(result["stats"], indent=2, sort_keys=True) + "\n")
+    print(f"{'wep_audit':20s} stats only -> {out_dir}")
+
+
+def capture_fixture() -> None:
+    from mac.golden_tiebreak import (SCENARIO_VERSION, run_tiebreak_scenario,
+                                     same_slot_transmissions)
+    lines, stats = run_tiebreak_scenario()
+    ties = same_slot_transmissions(lines)
+    if ties < 1:
+        raise SystemExit("scenario produced no same-slot ties; fixture "
+                         "would not pin the tie-break ordering")
+    FIXTURE_PATH.parent.mkdir(parents=True, exist_ok=True)
+    FIXTURE_PATH.write_text(json.dumps({
+        "scenario_version": SCENARIO_VERSION,
+        "same_slot_ties": ties,
+        "stats": stats,
+        "trace": lines,
+    }, indent=2, sort_keys=True) + "\n")
+    print(f"fixture: {len(lines)} trace lines, {ties} same-slot ties "
+          f"-> {FIXTURE_PATH}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("out_dir", nargs="?", type=pathlib.Path,
+                        help="directory for <macro>.trace / .stats.json")
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="macro workload scale (default 0.5)")
+    parser.add_argument("--fixture", action="store_true",
+                        help="regenerate the committed tie-break fixture")
+    args = parser.parse_args(argv)
+    if not args.fixture and args.out_dir is None:
+        parser.error("need an out_dir (or --fixture)")
+    if args.out_dir is not None:
+        args.out_dir.mkdir(parents=True, exist_ok=True)
+        capture_macros(args.out_dir, args.scale)
+    if args.fixture:
+        capture_fixture()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -169,7 +169,15 @@ def run_check(names, repeats: int, update_baseline: bool) -> int:
                   f"perf change. Update the baseline deliberately.")
             failures.append(name)
     if update_baseline:
+        # Merge into the existing baseline: refreshing a subset via
+        # --only must not erase the other scenarios' entries (which
+        # would silently disarm their regression/determinism gates).
+        # Entries for scenarios that no longer exist in MACROS are
+        # pruned so renames/removals don't fossilize stale gates.
         payload: Dict[str, Any] = {
+            name: entry for name, entry in baseline.items()
+            if not name.startswith("_") and name in MACROS}
+        payload.update({
             name: {
                 "work_per_sec": record["work_per_sec_best"],
                 "work_unit": record["work_unit"],
@@ -177,7 +185,7 @@ def run_check(names, repeats: int, update_baseline: bool) -> int:
                 "stats": record["stats"],
             }
             for name, record in records.items()
-        }
+        })
         payload["_machine"] = machine
         BASELINE_PATH.write_text(
             json.dumps(payload, indent=2, sort_keys=True) + "\n")
