@@ -40,6 +40,7 @@ from repro.phy.channel import Medium
 from repro.phy.propagation import FixedLoss
 from repro.phy.standards import DOT11B
 from repro.phy.transceiver import Radio
+from repro.routing import DsdvRouting, StaticRouting
 from repro.security.wep import WepCipher, crack_wep
 from repro import scenarios
 from repro.traffic.generators import CbrSource
@@ -268,6 +269,106 @@ def roaming_ess(scale: float = 1.0, *, seed: int = 7) -> Dict[str, Any]:
     }
 
 
+def mesh_backhaul(scale: float = 1.0, *, seed: int = 31) -> Dict[str, Any]:
+    """Multi-hop mesh relaying: the routing-layer macro.
+
+    Three sub-scenarios, events summed:
+
+    * an 8-node **static** relay chain carrying CBR end-to-end over 7
+      wireless hops (forwarding-engine throughput),
+    * the same chain under **DSDV** — traffic starts before
+      convergence, queues on route miss, and flows once the
+      distance-vector tables settle,
+    * a 3x3 **DSDV grid** whose active first-hop relay is knocked out
+      mid-run: the break must be detected (MAC retry exhaustion),
+      poisoned (odd sequence), and repaired through the redundant path
+      with traffic resuming — the route-repair workload.
+
+    All outcome stats are pure functions of the seed; the hop counts in
+    particular pin the paths taken, so any routing behavior change
+    trips the determinism gate.
+    """
+    reset_allocator()
+    sim = _perf_simulator(seed)
+    chain = scenarios.build_mesh_network(
+        sim, scenarios.chain_topology(8, 30.0), StaticRouting,
+        range_m=40.0)
+    scenarios.install_chain_routes(chain.nodes)
+    static_sink = TrafficSink(sim)
+    chain.nodes[7].on_receive(static_sink)
+    static_source = CbrSource(
+        sim, chain.nodes[0].sender(chain.nodes[7].address),
+        packet_bytes=200, interval=0.01)
+    static_horizon = 0.4 + 1.0 * scale
+    sim.run(until=static_horizon)
+    static_events = sim.events_executed
+    static_flow = static_sink.flow(static_source.flow_id)
+
+    reset_allocator()
+    sim = _perf_simulator(seed + 1)
+    dsdv_chain = scenarios.build_mesh_network(
+        sim, scenarios.chain_topology(8, 30.0), DsdvRouting, range_m=40.0)
+    dsdv_chain.start_routing()
+    dsdv_sink = TrafficSink(sim)
+    dsdv_chain.nodes[7].on_receive(dsdv_sink)
+    dsdv_source = CbrSource(
+        sim, dsdv_chain.nodes[0].sender(dsdv_chain.nodes[7].address),
+        packet_bytes=200, interval=0.02)
+    dsdv_horizon = 1.0 + 1.0 * scale
+    sim.run(until=dsdv_horizon)
+    dsdv_events = sim.events_executed
+    dsdv_flow = dsdv_sink.flow(dsdv_source.flow_id)
+
+    reset_allocator()
+    sim = _perf_simulator(seed + 2)
+    grid = scenarios.build_mesh_network(
+        sim, scenarios.grid_topology(3, 3, 30.0), DsdvRouting, range_m=40.0)
+    grid.start_routing()
+    grid_sink = TrafficSink(sim)
+    corner = grid.nodes[8]
+    grid.nodes[8].on_receive(grid_sink)
+    CbrSource(sim, grid.nodes[0].sender(corner.address),
+              packet_bytes=200, interval=0.02, start=0.3)
+    break_at = 0.8
+    pre_break = []
+
+    def _break_active_relay() -> None:
+        entry = grid.nodes[0].protocol.routes().get(corner.address)
+        assert entry is not None, "grid did not converge before the break"
+        relay = next(node for node in grid.nodes
+                     if node.address == entry.next_hop)
+        relay.station.position = Position(10_000.0, 10_000.0, 0.0)
+        pre_break.append(grid_sink.total_received)
+
+    sim.schedule_at(break_at, _break_active_relay)
+    grid_horizon = break_at + 0.8 + 1.2 * scale
+    sim.run(until=grid_horizon)
+    grid_events = sim.events_executed
+    broken = sum(node.counters.get("routes_broken") for node in grid.nodes)
+
+    return {
+        "work": static_events + dsdv_events + grid_events,
+        "work_unit": "events",
+        "sim_seconds": static_horizon + dsdv_horizon + grid_horizon,
+        "stats": {
+            "static_delivered": static_flow.received,
+            "static_generated": static_source.generated,
+            "static_hops": [static_flow.hops.minimum,
+                            static_flow.hops.maximum],
+            "dsdv_delivered": dsdv_flow.received,
+            "dsdv_generated": dsdv_source.generated,
+            "dsdv_hops": [dsdv_flow.hops.minimum, dsdv_flow.hops.maximum],
+            "dsdv_route_misses":
+                dsdv_chain.nodes[0].counters.get("route_misses"),
+            "grid_pre_break": pre_break[0] if pre_break else -1,
+            "grid_post_break": grid_sink.total_received
+                - (pre_break[0] if pre_break else 0),
+            "grid_routes_broken": broken,
+            "events": static_events + dsdv_events + grid_events,
+        },
+    }
+
+
 def wep_audit(scale: float = 1.0, *, seed: int = 0) -> Dict[str, Any]:
     """FMS key recovery against a live WEP cipher.
 
@@ -296,6 +397,7 @@ MACROS: Dict[str, Callable[..., Dict[str, Any]]] = {
     "dcf_saturation_100": dcf_saturation_100,
     "multi_bss": multi_bss,
     "hidden_terminal": hidden_terminal,
+    "mesh_backhaul": mesh_backhaul,
     "roaming_ess": roaming_ess,
     "wep_audit": wep_audit,
 }

@@ -20,7 +20,7 @@ families (``wpan``, ``wman``, ``wwan``), ``security``, ``traffic``,
 ``mobility``, ``analysis`` and ``scenarios`` alongside.
 """
 
-from . import analysis, core, mac, mobility, net, phy, scenarios
+from . import analysis, core, mac, mobility, net, phy, routing, scenarios
 from . import security, traffic, wman, wpan, wwan
 from .core import Simulator
 
@@ -35,6 +35,7 @@ __all__ = [
     "mobility",
     "net",
     "phy",
+    "routing",
     "scenarios",
     "security",
     "traffic",

@@ -1,6 +1,15 @@
-"""Metrics, airtime accounting, and table rendering."""
+"""Metrics, airtime accounting, mesh path analysis, table rendering."""
 
 from .airtime import AirtimeReport, SourceAirtime
+from .mesh import (
+    aggregate_mesh_counters,
+    connectivity_graph,
+    mesh_hop_histogram,
+    path_stretch,
+    per_link_airtime,
+    per_link_load,
+    shortest_hop_count,
+)
 from .metrics import (
     aggregate_throughput_bps,
     bianchi_saturation_throughput,
@@ -13,12 +22,19 @@ from .tables import format_value, render_series, render_table
 __all__ = [
     "AirtimeReport",
     "SourceAirtime",
+    "aggregate_mesh_counters",
     "aggregate_throughput_bps",
     "bianchi_saturation_throughput",
     "bianchi_tau",
+    "connectivity_graph",
     "delay_percentiles",
     "format_value",
     "jain_fairness",
+    "mesh_hop_histogram",
+    "path_stretch",
+    "per_link_airtime",
+    "per_link_load",
     "render_series",
     "render_table",
+    "shortest_hop_count",
 ]

@@ -37,6 +37,14 @@ class Counter:
     def as_dict(self) -> Dict[str, int]:
         return dict(self._counts)
 
+    def merge(self, other: "Counter") -> "Counter":
+        """Add another counter's values into this one (fleet-wide
+        aggregation: summing per-node mesh counters, per-BSS MAC stats).
+        Returns self for chaining."""
+        for name, value in other._counts.items():
+            self._counts[name] = self._counts.get(name, 0) + value
+        return self
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         inner = ", ".join(f"{key}={value}" for key, value in sorted(self._counts.items()))
         return f"Counter({inner})"
@@ -78,6 +86,11 @@ class SampleStat:
     @property
     def count(self) -> int:
         return self._count
+
+    @property
+    def samples(self) -> List[float]:
+        """The retained raw samples (copy; empty when not kept)."""
+        return list(self._samples)
 
     @property
     def mean(self) -> float:

@@ -221,12 +221,18 @@ class DcfMac:
 
     def send(self, destination: MacAddress, payload: bytes,
              protected: bool = False, context: Any = None,
-             meta: Optional[Dict[str, Any]] = None) -> bool:
-        """Queue a data MSDU for transmission.  Returns False on overflow."""
+             meta: Optional[Dict[str, Any]] = None,
+             priority: bool = False) -> bool:
+        """Queue a data MSDU for transmission.  Returns False on overflow.
+
+        ``priority`` enqueues at the head of the interface queue (behind
+        nothing but the MSDU already in flight) — used by the routing
+        layer so control updates survive saturated relays.
+        """
         msdu = Msdu(destination=destination, payload=payload,
                     protected=protected, context=context,
                     meta=dict(meta) if meta else {})
-        return self._enqueue(msdu)
+        return self._enqueue(msdu, front=priority)
 
     def send_management(self, subtype: ManagementSubtype,
                         destination: MacAddress, body: bytes,
@@ -264,8 +270,8 @@ class DcfMac:
 
     # --------------------------------------------------------------- queueing
 
-    def _enqueue(self, msdu: Msdu) -> bool:
-        accepted = self.queue.offer(msdu)
+    def _enqueue(self, msdu: Msdu, front: bool = False) -> bool:
+        accepted = self.queue.offer(msdu, front=front)
         if not accepted:
             self.counters.incr("queue_drops")
             return False

@@ -62,13 +62,21 @@ class DropTailQueue:
     def full(self) -> bool:
         return len(self._queue) >= self._capacity
 
-    def offer(self, msdu: Msdu) -> bool:
-        """Enqueue; returns False (and counts a drop) when full."""
+    def offer(self, msdu: Msdu, front: bool = False) -> bool:
+        """Enqueue; returns False (and counts a drop) when full.
+
+        ``front`` enqueues at the head — expedited traffic (routing
+        control frames) that must not wait behind a full data backlog.
+        Capacity still applies: a full queue rejects either way.
+        """
         if self.full:
             self.dropped += 1
             return False
         msdu.enqueued_at = self._sim.now
-        self._queue.append(msdu)
+        if front:
+            self._queue.appendleft(msdu)
+        else:
+            self._queue.append(msdu)
         self.enqueued += 1
         self._occupancy.update(self._sim.now, len(self._queue))
         return True

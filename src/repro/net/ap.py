@@ -249,6 +249,15 @@ class AccessPoint(WirelessDevice):
         self.associations.pop(station, None)
         self.mac.dedup.forget(station)
 
+    def deauthenticate(self, station: MacAddress) -> None:
+        """Kick a station: send DEAUTHENTICATION and drop its state
+        (load shedding, admin policy, key rotation)."""
+        if station not in self.associations:
+            return
+        self.mac.send_management(ManagementSubtype.DEAUTHENTICATION,
+                                 station, b"")
+        self._remove_station(station, "deauthenticated")
+
     # --- bridging ------------------------------------------------------------
 
     def mac_receive(self, source: MacAddress, destination: MacAddress,

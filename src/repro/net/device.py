@@ -9,7 +9,7 @@ into overridable methods.  :class:`~repro.net.ap.AccessPoint` and
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from ..core.engine import Simulator
 from ..core.topology import Position
@@ -25,6 +25,20 @@ from ..phy.transceiver import Radio, RadioConfig
 
 #: Upper-layer receive callback: (source, payload, meta) -> None.
 ReceiveHook = Callable[[MacAddress, bytes, Dict[str, Any]], None]
+
+
+def subscription(hooks: List[Any], hook: Any) -> Callable[[], None]:
+    """Append ``hook`` to a subscriber list and return an idempotent
+    unsubscribe callable — the registration pattern every multi-hook
+    surface (devices, mesh nodes) shares."""
+    hooks.append(hook)
+
+    def _unsubscribe() -> None:
+        try:
+            hooks.remove(hook)
+        except ValueError:
+            pass
+    return _unsubscribe
 
 
 class WirelessDevice(MacListener):
@@ -46,8 +60,8 @@ class WirelessDevice(MacListener):
         self.mac = DcfMac(sim, self.radio, self.address, config=mac_config,
                           rate_factory=rate_factory)
         self.mac.listener = self
-        self._receive_hook: Optional[ReceiveHook] = None
-        self._tx_complete_hook: Optional[Callable[[Msdu, bool], None]] = None
+        self._receive_hooks: List[ReceiveHook] = []
+        self._tx_complete_hooks: List[Callable[[Msdu, bool], None]] = []
 
     # --- geometry ----------------------------------------------------------
 
@@ -61,19 +75,30 @@ class WirelessDevice(MacListener):
 
     # --- upper layer ----------------------------------------------------------
 
-    def on_receive(self, hook: ReceiveHook) -> None:
-        """Register the upper-layer receive callback."""
-        self._receive_hook = hook
+    def on_receive(self, hook: ReceiveHook) -> Callable[[], None]:
+        """Register an upper-layer receive callback.
 
-    def on_tx_complete(self, hook: Callable[[Msdu, bool], None]) -> None:
-        """Register a per-MSDU completion callback (delivered or dropped)."""
-        self._tx_complete_hook = hook
+        Several subscribers may coexist (an app sink plus a forwarding
+        engine, say); each registration returns an unsubscribe callable.
+        """
+        return subscription(self._receive_hooks, hook)
+
+    def on_tx_complete(self, hook: Callable[[Msdu, bool], None]
+                       ) -> Callable[[], None]:
+        """Register a per-MSDU completion callback (delivered or dropped);
+        returns an unsubscribe callable."""
+        return subscription(self._tx_complete_hooks, hook)
 
     def deliver_up(self, source: MacAddress, payload: bytes,
                    meta: Dict[str, Any]) -> None:
-        """Hand an MSDU to the upper layer (hook point for subclasses)."""
-        if self._receive_hook is not None:
-            self._receive_hook(source, payload, meta)
+        """Hand an MSDU to the upper layer (hook point for subclasses).
+
+        Dispatch iterates a snapshot so a hook that unsubscribes
+        (itself or another) mid-delivery cannot starve later hooks of
+        this event.
+        """
+        for hook in tuple(self._receive_hooks):
+            hook(source, payload, meta)
 
     # --- MacListener ------------------------------------------------------------
 
@@ -87,8 +112,8 @@ class WirelessDevice(MacListener):
         """Management frames are handled by subclasses."""
 
     def mac_tx_complete(self, msdu: Msdu, success: bool) -> None:
-        if self._tx_complete_hook is not None:
-            self._tx_complete_hook(msdu, success)
+        for hook in tuple(self._tx_complete_hooks):
+            hook(msdu, success)
 
     # --- convenience ------------------------------------------------------------
 

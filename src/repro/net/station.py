@@ -148,16 +148,22 @@ class Station(WirelessDevice):
     # --- data path ------------------------------------------------------------
 
     def send(self, destination: MacAddress, payload: bytes,
-             protected: bool = False, context: Any = None) -> bool:
-        """Send an MSDU; via the AP in infrastructure mode."""
+             protected: bool = False, context: Any = None,
+             priority: bool = False) -> bool:
+        """Send an MSDU; via the AP in infrastructure mode.
+
+        ``priority`` frames jump the interface queue (routing control
+        traffic must not starve behind a saturated data backlog).
+        """
         self.radio.wake()  # dozing stations wake to transmit
         if self.adhoc:
             return self.mac.send(destination, payload, protected=protected,
-                                 context=context)
+                                 context=context, priority=priority)
         if not self.associated:
             raise ProtocolError(f"{self.name} is not associated")
         return self.mac.send(destination, payload, protected=protected,
-                             context=context, meta={"to_ds": True})
+                             context=context, meta={"to_ds": True},
+                             priority=priority)
 
     # --- power save (§4.2: PM bit, TIM, PS-Poll) --------------------------------
 

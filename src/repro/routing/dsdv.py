@@ -1,0 +1,235 @@
+"""DSDV: destination-sequenced distance-vector routing.
+
+A faithful-in-spirit implementation of Perkins & Bhagwat's DSDV on top
+of the mesh control channel:
+
+* every node periodically broadcasts its **full table**, leading with
+  its own entry at metric 0 and an **even** own-sequence number bumped
+  each dump — sequence freshness is what makes distance-vector loops
+  impossible,
+* receiving a dump installs/refreshes routes by the classic rule:
+  *newer sequence wins; equal sequence, better metric wins; the current
+  next hop's word about its own routes is always believed*,
+* **triggered updates** go out (jittered, rate-limited) when
+  *significant* information changes — a new destination, a next-hop or
+  metric change, or a break — so route information floods the mesh in
+  hop-count time rather than one hop per period,
+* a **link break** (reported by the MAC retry-limit path through
+  :meth:`on_link_failure`) marks every route through the dead neighbor
+  with an infinite metric and an **odd** sequence one above the last
+  known — downstream nodes adopt the break, and the destination's next
+  periodic dump (with a higher even sequence) repairs the mesh.
+
+All timing rides on reusable kernel
+:class:`~repro.core.engine.Timer` objects with per-node RNG-stream
+jitter, so convergence is fast, collision-shy, and bit-reproducible
+under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.engine import Timer
+from ..core.errors import ConfigurationError
+from ..mac.addresses import MacAddress
+from .packet import (INFINITE_METRIC, RouteAdvert, decode_dsdv_update,
+                     encode_dsdv_update)
+from .protocol import RouteEntry, RoutingProtocol
+
+
+@dataclass
+class DsdvConfig:
+    """Protocol timing knobs."""
+
+    #: Full-table broadcast interval.
+    period: float = 0.25
+    #: Jitter fraction applied to every periodic interval (desynchronizes
+    #: neighbors that booted in lockstep).
+    jitter: float = 0.2
+    #: Delay before a triggered update fires (batches a burst of changes).
+    triggered_delay: float = 0.02
+    #: Minimum spacing between consecutive update transmissions.
+    min_update_gap: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ConfigurationError(f"period must be > 0: {self.period}")
+        if not 0 <= self.jitter < 1:
+            raise ConfigurationError(f"jitter must be in [0, 1): {self.jitter}")
+        if self.triggered_delay < 0 or self.min_update_gap < 0:
+            raise ConfigurationError("delays must be >= 0")
+
+
+class DsdvRouting(RoutingProtocol):
+    """Periodic + triggered distance-vector routing with sequence numbers."""
+
+    name = "dsdv"
+
+    def __init__(self, config: Optional[DsdvConfig] = None):
+        super().__init__()
+        self.config = config if config is not None else DsdvConfig()
+        self._table: Dict[MacAddress, RouteEntry] = {}
+        self._sequence = 0          # own destination sequence (kept even)
+        self._last_update_tx = -math.inf
+        self._rng = None
+        self._periodic: Optional[Timer] = None
+        self._triggered: Optional[Timer] = None
+        self._running = False
+
+    # --- lifecycle ---------------------------------------------------------
+
+    def attach(self, node) -> None:
+        super().attach(node)
+        self._rng = node.sim.rng.stream(f"dsdv.{node.address}")
+        self._periodic = Timer(node.sim, self._periodic_fire)
+        self._triggered = Timer(node.sim, self._send_update)
+
+    def start(self) -> None:
+        """Begin advertising; the first dump is jitter-delayed so
+        co-booted nodes don't broadcast in lockstep."""
+        assert self.node is not None, "attach() before start()"
+        self._running = True
+        self._periodic.schedule(
+            self.config.period * self.config.jitter * self._rng.random())
+
+    def stop(self) -> None:
+        self._running = False
+        if self._periodic is not None:
+            self._periodic.cancel()
+        if self._triggered is not None:
+            self._triggered.cancel()
+
+    # --- table queries -----------------------------------------------------
+
+    def next_hop(self, destination: MacAddress) -> Optional[MacAddress]:
+        entry = self._table.get(destination)
+        if entry is None or entry.metric >= INFINITE_METRIC:
+            return None
+        return entry.next_hop
+
+    def routes(self) -> Dict[MacAddress, RouteEntry]:
+        return dict(self._table)
+
+    def reachable_destinations(self) -> List[MacAddress]:
+        return [destination for destination, entry in self._table.items()
+                if entry.metric < INFINITE_METRIC]
+
+    # --- advertisement -----------------------------------------------------
+
+    def _entries(self) -> List[RouteAdvert]:
+        """The full dump, own entry first (metric 0, freshest sequence)."""
+        assert self.node is not None
+        entries: List[RouteAdvert] = [(self.node.address, 0, self._sequence)]
+        for destination, entry in self._table.items():
+            entries.append((destination, entry.metric, entry.sequence))
+        return entries
+
+    def _periodic_fire(self) -> None:
+        if not self._running:
+            return
+        # Each dump advertises a fresh even sequence: the heartbeat that
+        # out-dates any stale or broken route others hold toward us.
+        self._sequence += 2
+        self._send_update()
+        jitter = self.config.jitter
+        self._periodic.schedule(
+            self.config.period * (1.0 - jitter / 2.0 + jitter * self._rng.random()))
+
+    def _send_update(self) -> None:
+        if not self._running:
+            return
+        now = self.node.sim.now
+        # Rate limit on the *absolute* next-allowed instant: the retry
+        # is scheduled exactly at it, so the re-check compares the same
+        # float and fires (a relative `gap` re-arm can underflow into a
+        # zero-advance delay and livelock the timer at one instant).
+        allowed_at = self._last_update_tx + self.config.min_update_gap
+        if now < allowed_at:
+            self._triggered.schedule_at(allowed_at)
+            return
+        self._last_update_tx = now
+        self.node.send_control(encode_dsdv_update(self._entries()))
+
+    def _schedule_triggered(self) -> None:
+        if not self._running or self._triggered.armed:
+            return
+        self._triggered.schedule(
+            self.config.triggered_delay * (0.5 + self._rng.random()))
+
+    # --- update processing -------------------------------------------------
+
+    def on_control(self, transmitter: MacAddress, payload: bytes) -> None:
+        adverts = decode_dsdv_update(payload)
+        if adverts is None or self.node is None:
+            return
+        now = self.node.sim.now
+        significant = False
+        routes_gained = 0
+        for destination, metric, sequence in adverts:
+            if destination == self.node.address:
+                # Someone advertises a *broken* route to us: out-run it
+                # with a fresh, higher even sequence of our own.
+                if metric >= INFINITE_METRIC and sequence > self._sequence:
+                    self._sequence = sequence + (1 if sequence % 2 else 2)
+                    significant = True
+                continue
+            advertised = metric + 1 if metric < INFINITE_METRIC \
+                else INFINITE_METRIC
+            current = self._table.get(destination)
+            adopt = False
+            if current is None:
+                adopt = advertised < INFINITE_METRIC
+            elif sequence > current.sequence:
+                adopt = True
+            elif sequence == current.sequence and advertised < current.metric:
+                adopt = True
+            elif current.next_hop == transmitter and \
+                    sequence >= current.sequence:
+                # Our next hop's own view of this route always stands.
+                adopt = True
+            if not adopt:
+                continue
+            was_reachable = current is not None and \
+                current.metric < INFINITE_METRIC
+            changed = current is None or current.metric != advertised \
+                or current.next_hop != transmitter
+            if current is None:
+                self._table[destination] = RouteEntry(
+                    destination, transmitter, advertised, sequence, now)
+            else:
+                current.next_hop = transmitter
+                current.metric = advertised
+                current.sequence = sequence
+                current.updated_at = now
+            if changed:
+                significant = True
+                if advertised < INFINITE_METRIC and not was_reachable:
+                    routes_gained += 1   # per route, mirroring routes_broken
+                if advertised >= INFINITE_METRIC and was_reachable:
+                    self.node.counters.incr("routes_lost")
+        if routes_gained:
+            self.node.counters.incr("routes_gained", routes_gained)
+            self.node.flush_pending()
+        if significant:
+            self._schedule_triggered()
+
+    # --- failure handling --------------------------------------------------
+
+    def on_link_failure(self, neighbor: MacAddress) -> None:
+        """Poison every route through the dead neighbor (odd sequence)."""
+        if self.node is None:
+            return
+        now = self.node.sim.now
+        broken = 0
+        for entry in self._table.values():
+            if entry.next_hop == neighbor and entry.metric < INFINITE_METRIC:
+                entry.metric = INFINITE_METRIC
+                entry.sequence += 1   # odd: "broken by a transit node"
+                entry.updated_at = now
+                broken += 1
+        if broken:
+            self.node.counters.incr("routes_broken", broken)
+            self._schedule_triggered()

@@ -1,0 +1,62 @@
+"""The mesh↔ESS gateway: a portal bridge into the distribution system.
+
+A community mesh rarely exists in isolation — its whole point is to
+backhaul traffic toward a wired network (the source paper's networks
+relay toward a handful of internet uplinks).  :class:`MeshGateway`
+makes one mesh edge node that uplink:
+
+* **mesh → DS**: packets arriving at the gateway whose final
+  destination the mesh routing table does not know leave through the
+  ESS portal (:meth:`~repro.net.ds.DistributionSystem
+  .inject_from_portal`), decapsulated back to plain MSDUs, and are
+  delivered by whichever AP currently serves the destination station —
+  roaming inside the ESS stays invisible to the mesh,
+* **DS → mesh**: frames the ESS cannot deliver locally fall out of its
+  portal hook and are re-originated into the mesh with the true wired
+  source as the mesh origin.  Such packets carry
+  :data:`~repro.routing.packet.FLAG_FROM_DS`, so a route miss queues
+  them for convergence instead of bouncing them straight back into the
+  DS.
+
+Interior mesh nodes reach the wired world by pointing
+:attr:`MeshNode.default_gateway` at the gateway's address — the
+forwarding engine falls back to the gateway route whenever the protocol
+has no entry for a destination.
+"""
+
+from __future__ import annotations
+
+from ..core.stats import Counter
+from ..mac.addresses import MacAddress
+from ..net.ds import DistributionSystem
+from .node import MeshNode
+from .packet import FLAG_FROM_DS
+
+
+class MeshGateway:
+    """Bridges one mesh edge node and one distribution system."""
+
+    def __init__(self, node: MeshNode, ds: DistributionSystem):
+        self.node = node
+        self.ds = ds
+        self.counters = Counter()
+        node.bridge = self._mesh_to_ds
+        ds.set_portal(self._ds_to_mesh)
+
+    def _mesh_to_ds(self, origin: MacAddress, destination: MacAddress,
+                    payload: bytes) -> None:
+        self.counters.incr("mesh_to_ds")
+        self.ds.inject_from_portal(origin, destination, payload)
+
+    def _ds_to_mesh(self, source: MacAddress, destination: MacAddress,
+                    payload: bytes) -> None:
+        if destination.is_broadcast or destination.is_multicast:
+            # No mesh-wide flooding (yet): a group route can never be
+            # installed, so queueing would wedge the packet forever.
+            self.counters.incr("ds_group_dropped")
+            return
+        self.counters.incr("ds_to_mesh")
+        accepted = self.node.send(destination, payload, origin=source,
+                                  flags=FLAG_FROM_DS)
+        if not accepted:
+            self.counters.incr("ds_to_mesh_drops")

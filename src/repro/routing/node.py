@@ -1,0 +1,319 @@
+"""The mesh forwarding engine.
+
+A :class:`MeshNode` wraps an ad-hoc :class:`~repro.net.station.Station`
+with the L3 machinery that turns a set of single-hop radios into a
+multi-hop network:
+
+* **per-node routing** via a pluggable
+  :class:`~repro.routing.protocol.RoutingProtocol` (static tables or
+  DSDV), with an optional default-gateway fallback for destinations the
+  protocol does not cover,
+* **TTL / hop-limit** enforcement so routing loops shed packets instead
+  of circulating them forever,
+* **duplicate suppression** keyed on (origin, origin sequence) —
+  reusing the MAC's :class:`~repro.mac.dedup.DuplicateCache`, but across
+  *different transmitters*, which MAC-level dedup cannot see,
+* **queue-on-route-miss**: packets for not-yet-known destinations wait
+  in a bounded per-destination queue and are flushed the moment the
+  protocol installs a route (DSDV convergence, static install),
+* **link-break detection**: a unicast MSDU that dies at the MAC retry
+  limit reports the next hop to the protocol and re-queues the packet
+  for the (repaired) route,
+* **per-hop stats**: counters, per-next-hop link load, delivered hop
+  counts, and an optional per-hop trace for determinism tests.
+
+The node transmits nothing itself — every packet is handed to the
+station's DCF MAC as an ordinary direct data frame addressed to the
+next hop, so mesh traffic contends, collides, retries and gets ACKed
+exactly like any other 802.11 traffic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, replace as _dc_replace
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from ..core.errors import ConfigurationError
+from ..core.stats import Counter, SampleStat
+from ..mac.addresses import BROADCAST, MacAddress
+from ..mac.dedup import DuplicateCache
+from ..mac.queueing import Msdu
+from ..net.device import subscription
+from ..net.station import Station
+from .packet import (FLAG_FROM_DS, FLAG_REROUTED, MESH_HEADER_SIZE,
+                     MeshHeader, decode_mesh)
+from .protocol import RoutingProtocol
+
+#: Upper-layer receive callback: (origin, payload, meta) -> None.
+MeshReceiveHook = Callable[[MacAddress, bytes, Dict[str, Any]], None]
+
+#: Gateway bridge callback: (origin, destination, payload) -> None.
+BridgeHook = Callable[[MacAddress, MacAddress, bytes], None]
+
+
+@dataclass
+class MeshConfig:
+    """Forwarding-engine knobs."""
+
+    #: Initial hop limit stamped on originated packets.
+    ttl: int = 32
+    #: Suppress re-forwarding of (origin, sequence) pairs already seen.
+    dedup: bool = True
+    #: Per-origin history depth of the duplicate cache.
+    dedup_history: int = 128
+    #: Bound of each per-destination route-miss queue.
+    pending_limit: int = 32
+    #: Record a per-hop (time, event, origin, seq, node) trace — the
+    #: determinism fixture for seeded-run comparison tests.
+    record_path: bool = False
+    #: Send routing control frames ahead of queued data (priority MAC
+    #: enqueue) so convergence survives saturated relays.
+    control_priority: bool = True
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.ttl <= 0xFF:
+            raise ConfigurationError(f"ttl must be in [1, 255]: {self.ttl}")
+        if self.pending_limit < 1:
+            raise ConfigurationError("pending_limit must be >= 1")
+
+
+class MeshNode:
+    """L3 node: a station plus forwarding state."""
+
+    def __init__(self, station: Station, protocol: RoutingProtocol,
+                 config: Optional[MeshConfig] = None):
+        if not station.adhoc:
+            raise ConfigurationError(
+                f"{station.name}: mesh nodes need an ad-hoc (IBSS) station")
+        self.station = station
+        self.sim = station.sim
+        self.address = station.address
+        self.name = station.name
+        self.config = config if config is not None else MeshConfig()
+        self.protocol = protocol
+        self.counters = Counter()
+        #: Per-next-hop link load/failure accounting.
+        self.link_counters: Dict[MacAddress, Counter] = {}
+        #: Hop counts of packets delivered *at this node*.
+        self.hop_counts = SampleStat()
+        #: Per-hop trace when ``config.record_path`` (determinism tests).
+        self.hop_log: List[Tuple[float, str, int, int, str]] = []
+        #: Fallback destination for routes the protocol does not know.
+        self.default_gateway: Optional[MacAddress] = None
+        #: Gateway bridge for destinations outside the mesh (portal side).
+        self.bridge: Optional[BridgeHook] = None
+        self._sequence = 0
+        self._dedup = DuplicateCache(
+            history_per_sender=self.config.dedup_history) \
+            if self.config.dedup else None
+        self._pending: Dict[MacAddress,
+                            Deque[Tuple[MeshHeader, bytes]]] = {}
+        self._receive_hooks: List[MeshReceiveHook] = []
+        station.on_receive(self._mac_receive)
+        station.on_tx_complete(self._mac_tx_complete)
+        protocol.attach(self)
+
+    # --- upper layer -------------------------------------------------------
+
+    def on_receive(self, hook: MeshReceiveHook) -> Callable[[], None]:
+        """Register a delivery hook; returns an unsubscribe callable."""
+        return subscription(self._receive_hooks, hook)
+
+    def sender(self, destination: MacAddress) -> Callable[[bytes], bool]:
+        """A bound send hook for the traffic generators."""
+        return lambda payload: self.send(destination, payload)
+
+    def send(self, destination: MacAddress, payload: bytes,
+             origin: Optional[MacAddress] = None, flags: int = 0) -> bool:
+        """Originate (or re-inject, for gateways) a mesh packet.
+
+        Returns False only when the packet was dropped immediately
+        (pending-queue or MAC-queue overflow); queued-on-route-miss
+        counts as accepted.
+        """
+        header = MeshHeader(origin if origin is not None else self.address,
+                            destination, self._sequence,
+                            ttl=self.config.ttl, hops=1, flags=flags)
+        self._sequence = (self._sequence + 1) & 0xFFFFFFFF
+        self.counters.incr("originated")
+        if destination == self.address:
+            # Loopback: deliver without touching the radio.
+            self._deliver(header, payload, meta={"loopback": True})
+            return True
+        return self._route_or_queue(header, payload)
+
+    # --- routing + forwarding ----------------------------------------------
+
+    def _lookup(self, destination: MacAddress) -> Optional[MacAddress]:
+        next_hop = self.protocol.next_hop(destination)
+        if next_hop is None and self.default_gateway is not None \
+                and destination != self.default_gateway:
+            next_hop = self.protocol.next_hop(self.default_gateway)
+        return next_hop
+
+    def _route_or_queue(self, header: MeshHeader, payload: bytes,
+                        count_miss: bool = True) -> bool:
+        next_hop = self._lookup(header.destination)
+        if next_hop is not None:
+            return self._transmit(header, payload, next_hop)
+        if self.bridge is not None and not header.flags & FLAG_FROM_DS:
+            # Mesh edge: unknown destinations leave through the portal.
+            self.counters.incr("bridged_out")
+            self.bridge(header.origin, header.destination, payload)
+            return True
+        if count_miss:
+            self.counters.incr("route_misses")
+        return self._queue_pending(header, payload)
+
+    def _queue_pending(self, header: MeshHeader, payload: bytes) -> bool:
+        queue = self._pending.get(header.destination)
+        if queue is None:
+            queue = deque()
+            self._pending[header.destination] = queue
+        if len(queue) >= self.config.pending_limit:
+            self.counters.incr("pending_drops")
+            return False
+        queue.append((header, payload))
+        return True
+
+    def flush_pending(self) -> None:
+        """Retry queued packets; protocols call this on route changes."""
+        for destination in list(self._pending):
+            queue = self._pending[destination]
+            next_hop = self._lookup(destination)
+            while queue and next_hop is not None:
+                header, payload = queue.popleft()
+                self.counters.incr("pending_flushed")
+                self._transmit(header, payload, next_hop)
+                next_hop = self._lookup(destination)
+            if not queue:
+                del self._pending[destination]
+
+    def pending_count(self) -> int:
+        return sum(len(queue) for queue in self._pending.values())
+
+    def _transmit(self, header: MeshHeader, payload: bytes,
+                  next_hop: MacAddress) -> bool:
+        packet = header.encode() + payload
+        link = self._link_counter(next_hop)
+        link.incr("frames")
+        link.incr("bytes", len(packet))
+        if self.config.record_path:
+            self.hop_log.append((self.sim.now, "tx", header.origin.value,
+                                 header.sequence, self.name))
+        accepted = self.station.send(next_hop, packet,
+                                     context=("mesh", header))
+        if not accepted:
+            self.counters.incr("mac_queue_drops")
+        return accepted
+
+    def _link_counter(self, next_hop: MacAddress) -> Counter:
+        counter = self.link_counters.get(next_hop)
+        if counter is None:
+            counter = Counter()
+            self.link_counters[next_hop] = counter
+        return counter
+
+    def send_control(self, payload: bytes) -> bool:
+        """Broadcast a routing control payload one hop (for protocols)."""
+        self.counters.incr("control_tx")
+        return self.station.send(BROADCAST, payload,
+                                 context=("mesh-ctrl",),
+                                 priority=self.config.control_priority)
+
+    # --- MAC upcalls -------------------------------------------------------
+
+    def _mac_receive(self, source: MacAddress, payload: bytes,
+                     meta: Dict[str, Any]) -> None:
+        decoded = decode_mesh(payload)
+        if decoded is None:
+            # Plain ad-hoc bytes sharing the station: hand up untouched.
+            self.counters.incr("non_mesh_rx")
+            for hook in tuple(self._receive_hooks):
+                hook(source, payload, meta)
+            return
+        kind, header, body = decoded
+        transmitter = meta.get("transmitter", source)
+        if kind == "control":
+            self.counters.incr("control_rx")
+            self.protocol.on_control(transmitter, body)
+            return
+        assert header is not None
+        # FLAG_REROUTED exempts *relays* from duplicate suppression (a
+        # repaired route may revisit them); the final destination always
+        # checks, so an ACK-loss-induced requeue cannot deliver twice.
+        for_us = header.destination == self.address
+        if self._dedup is not None \
+                and (for_us or not header.flags & FLAG_REROUTED) \
+                and self._dedup.is_duplicate(
+                    header.origin, header.sequence, 0, True):
+            self.counters.incr("duplicate_drops")
+            return
+        if self.config.record_path:
+            self.hop_log.append((self.sim.now, "rx", header.origin.value,
+                                 header.sequence, self.name))
+        if for_us:
+            self._deliver(header, body, meta)
+        else:
+            self._forward(header, body)
+
+    def _deliver(self, header: MeshHeader, body: bytes,
+                 meta: Dict[str, Any]) -> None:
+        self.counters.incr("delivered")
+        self.hop_counts.add(header.hops)
+        enriched = dict(meta)
+        enriched["mesh_hops"] = header.hops
+        enriched["mesh_origin"] = header.origin
+        for hook in tuple(self._receive_hooks):
+            hook(header.origin, body, enriched)
+
+    def _forward(self, header: MeshHeader, body: bytes) -> None:
+        if header.ttl <= 1:
+            self.counters.incr("ttl_drops")
+            return
+        if self.bridge is not None and not header.flags & FLAG_FROM_DS \
+                and self.protocol.next_hop(header.destination) is None:
+            # Transit traffic leaving the mesh through this gateway; its
+            # mesh journey ends here, so the hop count is final.
+            self.counters.incr("bridged_out")
+            self.hop_counts.add(header.hops)
+            self.bridge(header.origin, header.destination, body)
+            return
+        self.counters.incr("forwarded")
+        self._route_or_queue(header.forwarded(), body)
+
+    def _mac_tx_complete(self, msdu: Msdu, success: bool) -> None:
+        context = msdu.context
+        if not (isinstance(context, tuple) and context
+                and context[0] == "mesh"):
+            return
+        header: MeshHeader = context[1]
+        next_hop = msdu.destination
+        if success:
+            self.counters.incr("hop_delivered")
+            return
+        # Retry limit exhausted: the link to the next hop is down.
+        self.counters.incr("link_failures")
+        self._link_counter(next_hop).incr("failures")
+        self.protocol.on_link_failure(next_hop)
+        # Give the packet another chance: retransmit immediately when a
+        # route still stands (a transient collision burst under a
+        # static table), otherwise wait in the pending queue for the
+        # protocol to repair (DSDV poisons the route just above).  Each
+        # failed attempt spends one TTL, so a permanently dead next hop
+        # sheds the packet instead of retrying forever.  FLAG_REROUTED
+        # exempts the retransmission from duplicate suppression at
+        # relays the packet already crossed.
+        if header.ttl <= 1:
+            self.counters.incr("ttl_drops")
+            return
+        body = msdu.payload[MESH_HEADER_SIZE:]
+        rerouted = _dc_replace(header, ttl=header.ttl - 1,
+                               flags=header.flags | FLAG_REROUTED)
+        self.counters.incr("requeued_after_failure")
+        self._route_or_queue(rerouted, body, count_miss=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<MeshNode {self.name} {self.address} "
+                f"proto={self.protocol.name}>")

@@ -1,0 +1,142 @@
+"""Mesh packet formats: the L3 forwarding header and DSDV updates.
+
+The mesh layer rides *inside* 802.11 MSDUs: every mesh packet is an
+ordinary direct (IBSS-style) data frame addressed to the next hop, whose
+payload starts with one of two magic-tagged structures:
+
+* :class:`MeshHeader` + app payload — a forwarded data packet.  The
+  header carries the true origin and final destination (the MAC
+  addresses the per-hop frames cannot express), a hop-limit TTL, the
+  hop count accumulated so far, and an origin-scoped sequence number
+  used for duplicate suppression.
+* a DSDV routing update — a flat list of ``(destination, metric,
+  sequence)`` advertisements broadcast one hop.
+
+Anything that does not start with a known magic is not mesh traffic and
+is passed through untouched, so mesh and plain ad-hoc payloads can share
+a station.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple
+
+from ..core.errors import FrameError
+from ..mac.addresses import MacAddress
+
+#: Magic prefixes distinguishing mesh data, mesh control, and foreign bytes.
+MESH_DATA_MAGIC = 0x4D455348   # "MESH"
+MESH_CTRL_MAGIC = 0x44534456   # "DSDV"
+
+#: magic, ttl, hops, flags, origin, destination, sequence.
+_DATA_HEADER = struct.Struct("!IBBB6s6sI")
+MESH_HEADER_SIZE = _DATA_HEADER.size
+
+#: magic, entry count.
+_CTRL_HEADER = struct.Struct("!IH")
+#: destination, metric, sequence.
+_CTRL_ENTRY = struct.Struct("!6sBI")
+
+#: Set on packets injected from the wired side through a gateway bridge;
+#: a route miss on such a packet queues instead of bouncing back into
+#: the distribution system (which would ping-pong).
+FLAG_FROM_DS = 0x01
+#: Set when a relay retransmits a packet after a link failure: the
+#: repaired route may legitimately revisit nodes that already forwarded
+#: this (origin, sequence), so duplicate suppression must let it
+#: through (the TTL still bounds any loop).
+FLAG_REROUTED = 0x02
+
+#: Metric value meaning "unreachable" in DSDV advertisements.
+INFINITE_METRIC = 0xFF
+
+
+@dataclass(frozen=True)
+class MeshHeader:
+    """The per-packet forwarding header prepended to every mesh MSDU."""
+
+    origin: MacAddress
+    destination: MacAddress
+    sequence: int
+    ttl: int
+    hops: int = 1
+    flags: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.ttl <= 0xFF:
+            raise FrameError(f"TTL out of range: {self.ttl}")
+        if not 0 <= self.hops <= 0xFF:
+            raise FrameError(f"hop count out of range: {self.hops}")
+
+    def encode(self) -> bytes:
+        return _DATA_HEADER.pack(MESH_DATA_MAGIC, self.ttl, self.hops,
+                                 self.flags, self.origin.to_bytes(),
+                                 self.destination.to_bytes(),
+                                 self.sequence & 0xFFFFFFFF)
+
+    def forwarded(self) -> "MeshHeader":
+        """The header as retransmitted by a relay: TTL down, hops up."""
+        return replace(self, ttl=self.ttl - 1, hops=self.hops + 1)
+
+
+def decode_mesh(payload: bytes
+                ) -> Optional[Tuple[str, Optional[MeshHeader], bytes]]:
+    """Classify an MSDU payload.
+
+    Returns ``("data", header, body)`` for a forwarded packet,
+    ``("control", None, body)`` for a routing update (``body`` is the
+    still-encoded update), or ``None`` for non-mesh bytes.
+    """
+    if len(payload) < 4:
+        return None
+    magic = int.from_bytes(payload[:4], "big")
+    if magic == MESH_DATA_MAGIC:
+        if len(payload) < MESH_HEADER_SIZE:
+            return None
+        _, ttl, hops, flags, origin, destination, sequence = \
+            _DATA_HEADER.unpack_from(payload)
+        header = MeshHeader(MacAddress.from_bytes(origin),
+                            MacAddress.from_bytes(destination),
+                            sequence, ttl, hops, flags)
+        return "data", header, payload[MESH_HEADER_SIZE:]
+    if magic == MESH_CTRL_MAGIC:
+        return "control", None, payload
+    return None
+
+
+#: One DSDV advertisement: (destination, metric, sequence).
+RouteAdvert = Tuple[MacAddress, int, int]
+
+
+def encode_dsdv_update(entries: List[RouteAdvert]) -> bytes:
+    """Serialize a full-table DSDV dump."""
+    parts = [_CTRL_HEADER.pack(MESH_CTRL_MAGIC, len(entries))]
+    for destination, metric, sequence in entries:
+        if not 0 <= metric <= INFINITE_METRIC:
+            raise FrameError(f"metric out of range: {metric}")
+        parts.append(_CTRL_ENTRY.pack(destination.to_bytes(), metric,
+                                      sequence & 0xFFFFFFFF))
+    return b"".join(parts)
+
+
+def decode_dsdv_update(payload: bytes) -> Optional[List[RouteAdvert]]:
+    """Parse a DSDV dump; None when the payload is not one."""
+    if len(payload) < _CTRL_HEADER.size:
+        return None
+    magic, count = _CTRL_HEADER.unpack_from(payload)
+    if magic != MESH_CTRL_MAGIC:
+        return None
+    expected = _CTRL_HEADER.size + count * _CTRL_ENTRY.size
+    if len(payload) < expected:
+        return None
+    entries: List[RouteAdvert] = []
+    offset = _CTRL_HEADER.size
+    for _ in range(count):
+        destination, metric, sequence = _CTRL_ENTRY.unpack_from(payload,
+                                                                offset)
+        entries.append((MacAddress.from_bytes(destination), metric,
+                        sequence))
+        offset += _CTRL_ENTRY.size
+    return entries

@@ -1,0 +1,101 @@
+"""The routing-protocol interface and the static table implementation.
+
+A :class:`RoutingProtocol` answers exactly one question for the
+forwarding engine — *which neighbor is the next hop toward this
+destination?* — and reacts to two signals: control payloads received
+from peers and link failures reported by the MAC's retry-limit path.
+Everything else (TTL, duplicate suppression, queue-on-miss, stats) is
+the :class:`~repro.routing.node.MeshNode`'s job, so protocols stay
+small and interchangeable.
+
+:class:`StaticRouting` is the deterministic baseline: next hops are
+installed explicitly by the scenario (or by
+:func:`~repro.scenarios.install_chain_routes`), never expire, and never
+generate control traffic — ideal for tests that must isolate the
+forwarding engine from convergence dynamics.  The DSDV implementation
+lives in :mod:`repro.routing.dsdv`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, TYPE_CHECKING
+
+from ..mac.addresses import MacAddress
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .node import MeshNode
+
+
+@dataclass
+class RouteEntry:
+    """One routing-table row."""
+
+    destination: MacAddress
+    next_hop: MacAddress
+    metric: int
+    sequence: int = 0
+    updated_at: float = 0.0
+
+
+class RoutingProtocol:
+    """Strategy interface the forwarding engine drives.  Subclass and
+    override; every default is a safe no-op."""
+
+    name = "null"
+
+    def __init__(self) -> None:
+        self.node: Optional["MeshNode"] = None
+
+    def attach(self, node: "MeshNode") -> None:
+        """Bind to the node whose forwarding this protocol steers."""
+        self.node = node
+
+    def start(self) -> None:
+        """Begin protocol operation (timers, hello floods, ...)."""
+
+    def stop(self) -> None:
+        """Halt protocol timers."""
+
+    def next_hop(self, destination: MacAddress) -> Optional[MacAddress]:
+        """The neighbor to hand a packet for ``destination`` to, or None."""
+        return None
+
+    def on_control(self, transmitter: MacAddress, payload: bytes) -> None:
+        """A mesh control payload arrived from a direct neighbor."""
+
+    def on_link_failure(self, neighbor: MacAddress) -> None:
+        """The MAC exhausted its retries toward ``neighbor``."""
+
+    def routes(self) -> Dict[MacAddress, RouteEntry]:
+        """A copy of the live routing table (diagnostics/tests)."""
+        return {}
+
+
+class StaticRouting(RoutingProtocol):
+    """Explicit next-hop tables, installed by the experimenter."""
+
+    name = "static"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._table: Dict[MacAddress, RouteEntry] = {}
+
+    def set_route(self, destination: MacAddress, next_hop: MacAddress,
+                  metric: int = 1) -> None:
+        """Install (or replace) the route toward ``destination``."""
+        now = self.node.sim.now if self.node is not None else 0.0
+        self._table[destination] = RouteEntry(destination, next_hop,
+                                              metric, updated_at=now)
+        if self.node is not None:
+            self.node.flush_pending()
+
+    def remove_route(self, destination: MacAddress) -> None:
+        self._table.pop(destination, None)
+
+    def next_hop(self, destination: MacAddress) -> Optional[MacAddress]:
+        entry = self._table.get(destination)
+        return entry.next_hop if entry is not None else None
+
+    def routes(self) -> Dict[MacAddress, RouteEntry]:
+        return dict(self._table)

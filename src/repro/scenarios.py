@@ -11,8 +11,9 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from .core.engine import Simulator
-from .core.errors import SimulationError
-from .core.topology import Position, circle_layout
+from .core.errors import ConfigurationError, SimulationError
+from .core.topology import ORIGIN, Position, circle_layout, grid_layout, \
+    line_layout
 from .mac.dcf import DcfConfig
 from .mac.rate_adapt import RateControllerFactory
 from .net.ap import AccessPoint
@@ -22,6 +23,8 @@ from .net.station import Station
 from .phy.channel import Medium
 from .phy.propagation import LogDistance, PropagationModel, RangePropagation
 from .phy.standards import DOT11B, DOT11G, PhyStandard
+from .routing.node import MeshConfig, MeshNode
+from .routing.protocol import RoutingProtocol, StaticRouting
 
 
 @dataclass
@@ -43,37 +46,30 @@ def associate_all(sim: Simulator, stations: List[Station],
 
     Event-driven: association hooks stop the run the instant the last
     station associates, so no events are wasted on polling and the
-    returned clock is the actual association time (the old
-    implementation stepped the clock in 0.2 s increments, quantizing
-    the association time and re-entering the scheduler dozens of times
-    for slow joins).
+    returned clock is the actual association time.
+
+    Completion is judged on the *current* association state of every
+    station at each association event — not by draining a count of
+    first associations.  The distinction matters under churn: a station
+    that was associated at call time but disassociates mid-wait (beacon
+    loss, an AP kicking it) simply keeps the wait alive until it
+    re-associates, instead of turning a recoverable transient into a
+    hard :class:`SimulationError` while timeout budget remains.
     """
-    waiting = [station for station in stations if not station.associated]
-    if not waiting:
+    if all(station.associated for station in stations):
         return
     deadline = sim.now + timeout
-    remaining = [len(waiting)]
 
-    def _make_hook() -> Callable[[object], None]:
-        fired = [False]
+    def _check(_bssid: object) -> None:
+        if all(station.associated for station in stations):
+            sim.stop()
 
-        def _hook(_bssid: object) -> None:
-            # Count each station's *first* association only; a roam
-            # during the wait re-fires the hook and must not
-            # double-count toward `remaining`.
-            if fired[0]:
-                return
-            fired[0] = True
-            remaining[0] -= 1
-            if remaining[0] == 0:
-                sim.stop()
-        return _hook
-
-    # Each hook is unsubscribed after the run: a late association (after
-    # a timeout) must never sim.stop() an unrelated later run, and
-    # repeated associate_all calls must not accumulate closures.
-    unsubscribes = [station.on_associated(_make_hook())
-                    for station in waiting]
+    # Every station gets the hook (a currently-associated one may churn
+    # and re-associate during the wait).  Each hook is unsubscribed
+    # after the run: a late association (after a timeout) must never
+    # sim.stop() an unrelated later run, and repeated associate_all
+    # calls must not accumulate closures.
+    unsubscribes = [station.on_associated(_check) for station in stations]
     try:
         sim.run(until=deadline)
     finally:
@@ -196,6 +192,105 @@ class EssScenario:
     medium: Medium
     ess: ExtendedServiceSet
     aps: List[AccessPoint]
+
+
+def chain_topology(count: int, spacing_m: float,
+                   start: Position = ORIGIN) -> List[Position]:
+    """Relay-chain placement: ``count`` nodes along +x, ``spacing_m``
+    apart.  Pick a radio range in (spacing, 2*spacing) and only
+    adjacent nodes can hear each other — the canonical multi-hop
+    backhaul line."""
+    if count < 2:
+        raise ConfigurationError(f"a chain needs >= 2 nodes, got {count}")
+    return line_layout(count, spacing_m, start=start)
+
+
+def grid_topology(rows: int, cols: int, spacing_m: float,
+                  start: Position = ORIGIN) -> List[Position]:
+    """Mesh-grid placement: rows x cols nodes, ``spacing_m`` pitch.
+    A radio range in (spacing, spacing*sqrt(2)) yields the 4-neighbor
+    grid — the redundant-path topology route repair needs."""
+    if rows < 1 or cols < 1:
+        raise ConfigurationError(
+            f"grid needs rows, cols >= 1, got {rows}x{cols}")
+    return grid_layout(rows, cols, spacing_m, start=start)
+
+
+@dataclass
+class MeshScenario:
+    """An IBSS of mesh nodes, ready for routing + traffic."""
+
+    sim: Simulator
+    medium: Medium
+    ibss: IndependentBss
+    nodes: List[MeshNode]
+    #: The disc radio range the topology was built for.
+    range_m: float
+
+    def start_routing(self) -> None:
+        """Kick every node's routing protocol (no-op for static)."""
+        for node in self.nodes:
+            node.protocol.start()
+
+    def addresses(self) -> List["MacAddress"]:
+        return [node.address for node in self.nodes]
+
+    def positions(self) -> List[Position]:
+        return [node.station.position for node in self.nodes]
+
+
+def build_mesh_network(sim: Simulator, positions: List[Position],
+                       protocol_factory: Callable[[], RoutingProtocol],
+                       standard: PhyStandard = DOT11B,
+                       range_m: float = 45.0,
+                       mac_config: Optional[DcfConfig] = None,
+                       mesh_config: Optional[MeshConfig] = None,
+                       medium: Optional[Medium] = None,
+                       channel_id: int = 1,
+                       name_prefix: str = "mesh",
+                       ) -> MeshScenario:
+    """Mesh nodes at explicit positions sharing one IBSS.
+
+    Disc (:class:`RangePropagation`) radio by default, so the
+    connectivity graph is exactly the geometric one
+    :func:`repro.analysis.mesh.connectivity_graph` computes — multi-hop
+    is forced by geometry, not by tuning path loss.  Pass an existing
+    ``medium`` (e.g. one shared with an ESS on another channel) to
+    co-locate the mesh with other networks.
+    """
+    if medium is None:
+        medium = Medium(sim, RangePropagation(range_m,
+                                              in_range_loss_db=60.0))
+    ibss = IndependentBss.start(sim)
+    nodes = []
+    for index, position in enumerate(positions):
+        station = Station(sim, medium, standard, position,
+                          name=f"{name_prefix}{index}", adhoc=True,
+                          ibss_bssid=ibss.bssid, mac_config=mac_config,
+                          channel_id=channel_id)
+        ibss.join(station)
+        nodes.append(MeshNode(station, protocol_factory(),
+                              config=mesh_config))
+    return MeshScenario(sim, medium, ibss, nodes, range_m)
+
+
+def install_chain_routes(nodes: List[MeshNode]) -> None:
+    """Static all-pairs routes along a chain: each node's next hop
+    toward any destination is its neighbor in that direction.  Requires
+    every node to run :class:`~repro.routing.protocol.StaticRouting`."""
+    for index, node in enumerate(nodes):
+        protocol = node.protocol
+        if not isinstance(protocol, StaticRouting):
+            raise ConfigurationError(
+                f"{node.name}: install_chain_routes needs StaticRouting, "
+                f"got {protocol.name}")
+        for target_index, target in enumerate(nodes):
+            if target_index == index:
+                continue
+            step = 1 if target_index > index else -1
+            protocol.set_route(target.address,
+                               nodes[index + step].address,
+                               metric=abs(target_index - index))
 
 
 def build_ess(sim: Simulator, ap_count: int, spacing_m: float = 60.0,

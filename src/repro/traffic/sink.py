@@ -34,10 +34,12 @@ class FlowStats:
     out_of_order: int = 0
     delay: SampleStat = field(default_factory=SampleStat)
     jitter: float = 0.0  # RFC3550 smoothed interarrival jitter
+    #: Wireless hop counts, when the flow crossed a mesh (empty otherwise).
+    hops: SampleStat = field(default_factory=SampleStat)
     _last_transit: Optional[float] = None
 
     def record(self, now: float, sequence: int, sent_at: float,
-               size: int) -> None:
+               size: int, hops: Optional[int] = None) -> None:
         self.received += 1
         self.bytes_received += size
         if self.first_rx is None:
@@ -47,6 +49,8 @@ class FlowStats:
             self.highest_sequence = sequence
         else:
             self.out_of_order += 1
+        if hops is not None:
+            self.hops.add(hops)
         transit = now - sent_at
         self.delay.add(transit)
         if self._last_transit is not None:
@@ -92,10 +96,13 @@ class TrafficSink:
         self.foreign_packets = 0
 
     def __call__(self, source, payload: bytes, meta=None) -> None:
-        """Receive-hook adapter (matches ``device.on_receive`` signature)."""
-        self.consume(payload)
+        """Receive-hook adapter (matches ``device.on_receive`` and
+        ``MeshNode.on_receive`` signatures).  Mesh deliveries annotate
+        ``meta["mesh_hops"]``, which feeds the per-flow hop statistic."""
+        hops = meta.get("mesh_hops") if meta else None
+        self.consume(payload, hops=hops)
 
-    def consume(self, payload: bytes) -> bool:
+    def consume(self, payload: bytes, hops: Optional[int] = None) -> bool:
         """Feed one received payload; returns False for foreign bytes."""
         decoded = decode_packet(payload)
         if decoded is None:
@@ -106,7 +113,8 @@ class TrafficSink:
         if flow is None:
             flow = FlowStats(flow_id=flow_id)
             self.flows[flow_id] = flow
-        flow.record(self.sim.now, sequence, timestamp, len(payload))
+        flow.record(self.sim.now, sequence, timestamp, len(payload),
+                    hops=hops)
         return True
 
     # --- aggregates ------------------------------------------------------------

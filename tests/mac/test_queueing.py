@@ -24,6 +24,20 @@ class TestDropTailQueue:
     def test_poll_empty_returns_none(self, sim):
         assert DropTailQueue(sim).poll() is None
 
+    def test_front_offer_jumps_the_backlog(self, sim):
+        queue = DropTailQueue(sim, capacity=10)
+        queue.offer(msdu(b"data1"))
+        queue.offer(msdu(b"data2"))
+        assert queue.offer(msdu(b"urgent"), front=True)
+        polled = [queue.poll().payload for _ in range(3)]
+        assert polled == [b"urgent", b"data1", b"data2"]
+
+    def test_front_offer_still_respects_capacity(self, sim):
+        queue = DropTailQueue(sim, capacity=1)
+        assert queue.offer(msdu(b"only"))
+        assert not queue.offer(msdu(b"urgent"), front=True)
+        assert queue.dropped == 1
+
     def test_drop_tail_on_overflow(self, sim):
         queue = DropTailQueue(sim, capacity=2)
         assert queue.offer(msdu())

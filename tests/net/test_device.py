@@ -48,6 +48,22 @@ class TestWirelessDevice:
         sim.run(until=0.5)
         assert outcomes == [True]
 
+    def test_multiple_receive_hooks_and_unsubscribe(self, sim):
+        """Several subscribers coexist (an app sink plus a forwarding
+        engine); unsubscribing removes exactly one of them."""
+        a, b = pair(sim)
+        first, second = [], []
+        unsubscribe = b.on_receive(lambda src, p, m: first.append(p))
+        b.on_receive(lambda src, p, m: second.append(p))
+        a.mac.send(b.address, b"one")
+        sim.run(until=0.5)
+        assert first == [b"one"] and second == [b"one"]
+        unsubscribe()
+        unsubscribe()  # idempotent
+        a.mac.send(b.address, b"two")
+        sim.run(until=1.0)
+        assert first == [b"one"] and second == [b"one", b"two"]
+
     def test_position_proxies_radio(self, sim):
         a, _ = pair(sim)
         a.position = Position(9, 9, 0)

@@ -1,0 +1,119 @@
+"""The mesh↔ESS portal bridge."""
+
+from repro import scenarios
+from repro.core.topology import Position
+from repro.mac.addresses import MacAddress
+from repro.net.ap import AccessPoint
+from repro.net.ds import DistributionSystem
+from repro.net.station import Station
+from repro.phy.channel import Medium
+from repro.phy.propagation import RangePropagation
+from repro.phy.standards import DOT11B
+from repro.routing import DsdvRouting, MeshGateway, StaticRouting
+
+
+def build_bridged_world(sim, protocol_factory, mesh_nodes=3):
+    """A mesh chain (channel 1) and a one-AP ESS (channel 6) sharing
+    one medium, bridged at mesh node 0."""
+    medium = Medium(sim, RangePropagation(45.0, in_range_loss_db=60.0))
+    mesh = scenarios.build_mesh_network(
+        sim, scenarios.chain_topology(mesh_nodes, 30.0), protocol_factory,
+        medium=medium, channel_id=1)
+    ds = DistributionSystem(sim)
+    ap = AccessPoint(sim, medium, DOT11B, Position(0, 10, 0), name="ap",
+                     ssid="uplink", ds=ds, channel_id=6)
+    ap.start_beaconing()
+    client = Station(sim, medium, DOT11B, Position(0, 20, 0), name="client",
+                     channel_id=6)
+    client.associate("uplink")
+    scenarios.associate_all(sim, [client], timeout=5.0)
+    gateway = MeshGateway(mesh.nodes[0], ds)
+    for node in mesh.nodes[1:]:
+        node.default_gateway = mesh.nodes[0].address
+    return mesh, gateway, ap, client
+
+
+class TestMeshToEss:
+    def test_far_mesh_node_reaches_an_ess_station(self, sim):
+        mesh, gateway, ap, client = build_bridged_world(sim, DsdvRouting)
+        mesh.start_routing()
+        sim.run(until=sim.now + 1.0)  # DSDV convergence
+        inbox = []
+        client.on_receive(lambda s, p, m: inbox.append((s, p)))
+        mesh.nodes[2].send(client.address, b"uplink payload")
+        sim.run(until=sim.now + 0.5)
+        assert inbox == [(mesh.nodes[2].address, b"uplink payload")]
+        assert gateway.counters.get("mesh_to_ds") == 1
+        # Interior relays used the default-gateway fallback.
+        assert mesh.nodes[1].counters.get("forwarded") == 1
+
+    def test_unknown_destination_without_ess_station_is_undeliverable(
+            self, sim):
+        mesh, gateway, ap, client = build_bridged_world(sim, DsdvRouting)
+        mesh.start_routing()
+        sim.run(until=sim.now + 1.0)
+        nowhere = MacAddress.from_string("02:00:00:00:00:99")
+        mesh.nodes[2].send(nowhere, b"to nobody")
+        sim.run(until=sim.now + 0.5)
+        assert gateway.counters.get("mesh_to_ds") == 1
+        assert gateway.ds.counters.get("undeliverable") == 1
+
+
+class TestEssToMesh:
+    def test_ess_station_reaches_a_far_mesh_node(self, sim):
+        mesh, gateway, ap, client = build_bridged_world(sim, DsdvRouting)
+        mesh.start_routing()
+        sim.run(until=sim.now + 1.0)
+        inbox = []
+        mesh.nodes[2].on_receive(
+            lambda s, p, m: inbox.append((s, p, m["mesh_hops"])))
+        client.send(mesh.nodes[2].address, b"downlink payload")
+        sim.run(until=sim.now + 0.5)
+        # Origin is the true wired-side source, hops count the mesh legs.
+        assert inbox == [(client.address, b"downlink payload", 2)]
+        assert gateway.counters.get("ds_to_mesh") == 1
+
+    def test_pre_convergence_ds_traffic_queues_instead_of_bouncing(
+            self, sim):
+        """A DS-injected packet with no mesh route yet must wait at the
+        gateway (FLAG_FROM_DS), not ping-pong back into the portal."""
+        mesh, gateway, ap, client = build_bridged_world(sim, DsdvRouting)
+        inbox = []
+        mesh.nodes[2].on_receive(lambda s, p, m: inbox.append(p))
+        # Routing has not started: the gateway knows no mesh routes.
+        client.send(mesh.nodes[2].address, b"early bird")
+        sim.run(until=sim.now + 0.3)
+        assert inbox == []
+        assert mesh.nodes[0].pending_count() == 1
+        assert gateway.counters.get("ds_to_mesh") == 1
+        assert gateway.ds.counters.get("undeliverable") == 0
+        mesh.start_routing()
+        sim.run(until=sim.now + 2.0)
+        assert inbox == [b"early bird"]
+
+
+class TestGroupAddressedFrames:
+    def test_ds_broadcasts_are_dropped_not_wedged(self, sim):
+        """A DS broadcast can never acquire a mesh route; it must be
+        dropped with a counter, not parked in the pending queue
+        forever."""
+        from repro.mac.addresses import BROADCAST
+        mesh, gateway, ap, client = build_bridged_world(sim, DsdvRouting)
+        mesh.start_routing()
+        sim.run(until=sim.now + 1.0)
+        client.send(BROADCAST, b"to everyone on the wire")
+        sim.run(until=sim.now + 0.5)
+        assert gateway.counters.get("ds_group_dropped") == 1
+        assert gateway.counters.get("ds_to_mesh") == 0
+        assert mesh.nodes[0].pending_count() == 0
+
+
+class TestStaticGateway:
+    def test_bridge_works_with_static_routes_too(self, sim):
+        mesh, gateway, ap, client = build_bridged_world(sim, StaticRouting)
+        scenarios.install_chain_routes(mesh.nodes)
+        inbox = []
+        client.on_receive(lambda s, p, m: inbox.append(p))
+        mesh.nodes[2].send(client.address, b"static uplink")
+        sim.run(until=sim.now + 0.5)
+        assert inbox == [b"static uplink"]

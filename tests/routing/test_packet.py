@@ -1,0 +1,73 @@
+"""Mesh packet format round-trips and classification."""
+
+import pytest
+
+from repro.core.errors import FrameError
+from repro.mac.addresses import MacAddress
+from repro.routing.packet import (
+    FLAG_FROM_DS,
+    INFINITE_METRIC,
+    MESH_HEADER_SIZE,
+    MeshHeader,
+    decode_dsdv_update,
+    decode_mesh,
+    encode_dsdv_update,
+)
+
+A = MacAddress.from_string("02:00:00:00:00:0a")
+B = MacAddress.from_string("02:00:00:00:00:0b")
+C = MacAddress.from_string("02:00:00:00:00:0c")
+
+
+class TestMeshHeader:
+    def test_roundtrip(self):
+        header = MeshHeader(A, B, sequence=7, ttl=16, hops=3,
+                            flags=FLAG_FROM_DS)
+        kind, decoded, body = decode_mesh(header.encode() + b"payload")
+        assert kind == "data"
+        assert decoded == header
+        assert body == b"payload"
+
+    def test_forwarded_moves_ttl_and_hops(self):
+        header = MeshHeader(A, B, sequence=1, ttl=5, hops=1)
+        relayed = header.forwarded()
+        assert (relayed.ttl, relayed.hops) == (4, 2)
+        # Addressing and identity are immutable across hops.
+        assert (relayed.origin, relayed.destination, relayed.sequence) == \
+            (A, B, 1)
+
+    def test_header_size_constant(self):
+        assert len(MeshHeader(A, B, 0, ttl=1).encode()) == MESH_HEADER_SIZE
+
+    def test_ttl_out_of_range_rejected(self):
+        with pytest.raises(FrameError):
+            MeshHeader(A, B, 0, ttl=256)
+
+    def test_foreign_bytes_are_not_mesh(self):
+        assert decode_mesh(b"") is None
+        assert decode_mesh(b"\x00\x01") is None
+        assert decode_mesh(bytes(64)) is None
+
+    def test_truncated_data_header_is_not_mesh(self):
+        header = MeshHeader(A, B, 0, ttl=4).encode()
+        assert decode_mesh(header[:MESH_HEADER_SIZE - 1]) is None
+
+
+class TestDsdvUpdate:
+    def test_roundtrip(self):
+        entries = [(A, 0, 42), (B, 3, 17), (C, INFINITE_METRIC, 9)]
+        payload = encode_dsdv_update(entries)
+        kind, header, body = decode_mesh(payload)
+        assert kind == "control" and header is None
+        assert decode_dsdv_update(body) == entries
+
+    def test_empty_update(self):
+        assert decode_dsdv_update(encode_dsdv_update([])) == []
+
+    def test_metric_out_of_range_rejected(self):
+        with pytest.raises(FrameError):
+            encode_dsdv_update([(A, 256, 0)])
+
+    def test_truncated_update_rejected(self):
+        payload = encode_dsdv_update([(A, 1, 2), (B, 2, 4)])
+        assert decode_dsdv_update(payload[:-1]) is None

@@ -4,7 +4,7 @@ import pytest
 
 from repro import scenarios
 from repro.core import Simulator
-from repro.core.errors import SimulationError
+from repro.core.errors import ConfigurationError, SimulationError
 from repro.phy.standards import DOT11A, DOT11B
 
 
@@ -73,6 +73,34 @@ class TestInfrastructureBuilder:
         target = sim.now + 1.0
         assert sim.run(until=target) == target
 
+    def test_mid_wait_disassociation_does_not_fail_with_budget_left(
+            self, sim):
+        """A station associated at call time that churns mid-wait must
+        keep the wait alive until it re-associates — not turn into a
+        hard SimulationError while timeout budget remains."""
+        from repro.core.topology import Position
+        from repro.net.station import Station
+        bss = scenarios.build_infrastructure_bss(sim, station_count=1)
+        churner = bss.stations[0]
+        assert churner.associated
+        late = Station(sim, bss.medium, bss.ap.radio.standard,
+                       Position(5, 0, 0), name="late")
+        # Mid-wait, the AP kicks the already-associated station; it
+        # rescans and rejoins on its own schedule.
+        sim.schedule(0.05, lambda: bss.ap.deauthenticate(churner.address))
+        late.associate(bss.ap.ssid)
+        scenarios.associate_all(sim, [churner, late], timeout=10.0)
+        assert churner.associated and late.associated
+
+    def test_associate_all_waits_out_a_transient_disassociation(self, sim):
+        """Even when the *last* association event fires while another
+        station is down, completion is judged on current state."""
+        bss = scenarios.build_infrastructure_bss(sim, station_count=2)
+        churner = bss.stations[0]
+        sim.schedule(0.02, lambda: bss.ap.deauthenticate(churner.address))
+        scenarios.associate_all(sim, bss.stations, timeout=10.0)
+        assert all(sta.associated for sta in bss.stations)
+
 
 class TestAdhocBuilder:
     def test_peers_share_one_bssid(self, sim):
@@ -104,6 +132,47 @@ class TestHiddenTerminalBuilder:
             power = scenario.medium.link_rx_power_dbm(
                 sender.radio, scenario.receiver.radio)
             assert power > -80.0
+
+
+class TestMeshTopologies:
+    def test_chain_topology_spacing(self):
+        positions = scenarios.chain_topology(5, 25.0)
+        assert [p.x for p in positions] == [0.0, 25.0, 50.0, 75.0, 100.0]
+        assert all(p.y == 0.0 and p.z == 0.0 for p in positions)
+
+    def test_chain_topology_needs_two_nodes(self):
+        with pytest.raises(ConfigurationError):
+            scenarios.chain_topology(1, 10.0)
+
+    def test_grid_topology_placement(self):
+        positions = scenarios.grid_topology(2, 3, 10.0)
+        assert len(positions) == 6
+        assert (positions[0].x, positions[0].y) == (0.0, 0.0)
+        assert (positions[2].x, positions[2].y) == (20.0, 0.0)   # row 0
+        assert (positions[5].x, positions[5].y) == (20.0, 10.0)  # row 1
+        # Grid pitch: nearest neighbors are exactly `spacing` apart.
+        assert positions[0].distance_to(positions[1]) == 10.0
+        assert positions[0].distance_to(positions[3]) == 10.0
+
+    def test_grid_topology_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            scenarios.grid_topology(0, 3, 10.0)
+
+    def test_build_mesh_network_wires_one_ibss(self, sim):
+        from repro.routing import StaticRouting
+        mesh = scenarios.build_mesh_network(
+            sim, scenarios.chain_topology(3, 30.0), StaticRouting,
+            range_m=40.0)
+        assert len(mesh.nodes) == 3
+        bssids = {node.station.mac.bssid for node in mesh.nodes}
+        assert bssids == {mesh.ibss.bssid}
+        # Adjacent nodes hear each other; the ends do not.
+        assert mesh.medium.link_rx_power_dbm(
+            mesh.nodes[0].station.radio,
+            mesh.nodes[1].station.radio) > -90.0
+        assert mesh.medium.link_rx_power_dbm(
+            mesh.nodes[0].station.radio,
+            mesh.nodes[2].station.radio) == float("-inf")
 
 
 class TestEssBuilder:

@@ -200,6 +200,8 @@ def run_check(names, repeats: int, update_baseline: bool) -> int:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--list", action="store_true",
+                        help="list the registered macro-scenarios and exit")
     parser.add_argument("--only", action="append", metavar="NAME",
                         help="run only this scenario (repeatable)")
     parser.add_argument("--scale", type=float, default=1.0,
@@ -217,6 +219,11 @@ def main(argv=None) -> int:
                              "from this machine's numbers")
     args = parser.parse_args(argv)
 
+    if args.list:
+        for name in sorted(MACROS):
+            summary = (MACROS[name].__doc__ or "").strip().split("\n")[0]
+            print(f"{name:20s} {summary}")
+        return 0
     names = args.only if args.only else sorted(MACROS)
     unknown = [name for name in names if name not in MACROS]
     if unknown:
