@@ -81,15 +81,22 @@ def _perf_simulator(seed: int) -> Simulator:
 
 def dcf_saturation(scale: float = 1.0, *, seed: int = 5,
                    stations: int = 20,
-                   cache_links: bool = True) -> Dict[str, Any]:
+                   cache_links: bool = True,
+                   exact: bool = True) -> Dict[str, Any]:
     """20 saturated stations sending 800-byte MSDUs to one receiver.
 
     The headline macro-benchmark: dominated by arrival fan-out, CCA
     edges, slot-by-slot backoff, and frame delivery decisions.
+
+    ``exact=False`` runs the medium's relaxed-ulp fast mode (the
+    ``*_fast`` macro variants); its stats are seed-deterministic but
+    deliberately NOT comparable to exact-mode stats — see
+    PERFORMANCE.md, "Exact vs fast mode".
     """
     reset_allocator()
     sim = _perf_simulator(seed)
-    medium = Medium(sim, FixedLoss(50.0), cache_links=cache_links)
+    medium = Medium(sim, FixedLoss(50.0), cache_links=cache_links,
+                    exact=exact)
     config = DcfConfig()
     factory = fixed_rate_factory("CCK-11")
     receiver_radio = Radio("rx", medium, DOT11B, Position(0, 0, 0))
@@ -118,8 +125,27 @@ def dcf_saturation(scale: float = 1.0, *, seed: int = 5,
             "events": sim.events_executed,
             "link_cache_hits": medium.links.hits,
             "link_cache_misses": medium.links.misses,
+            "fanout_plan_hits": medium.plan_hits,
+            "fanout_plan_misses": medium.plan_misses,
         },
     }
+
+
+def dcf_saturation_fast(scale: float = 1.0, *, seed: int = 5) -> Dict[str, Any]:
+    """`dcf_saturation` in the relaxed-ulp fast mode (exact=False).
+
+    Committed side-by-side with the exact macro so every PR's BENCH
+    trajectory shows both figures.  The stats fingerprint is still a
+    pure function of the seed (the determinism gates apply), but it is
+    bit-INcompatible with exact mode by design.
+    """
+    return dcf_saturation(scale, seed=seed, exact=False)
+
+
+def dcf_saturation_100_fast(scale: float = 1.0, *, seed: int = 17
+                            ) -> Dict[str, Any]:
+    """`dcf_saturation_100` in the relaxed-ulp fast mode (exact=False)."""
+    return dcf_saturation(scale, seed=seed, stations=100, exact=False)
 
 
 def dcf_saturation_100(scale: float = 1.0, *, seed: int = 17) -> Dict[str, Any]:
@@ -394,7 +420,9 @@ def wep_audit(scale: float = 1.0, *, seed: int = 0) -> Dict[str, Any]:
 #: name -> scenario callable; the harness and the perf tests iterate this.
 MACROS: Dict[str, Callable[..., Dict[str, Any]]] = {
     "dcf_saturation": dcf_saturation,
+    "dcf_saturation_fast": dcf_saturation_fast,
     "dcf_saturation_100": dcf_saturation_100,
+    "dcf_saturation_100_fast": dcf_saturation_100_fast,
     "multi_bss": multi_bss,
     "hidden_terminal": hidden_terminal,
     "mesh_backhaul": mesh_backhaul,

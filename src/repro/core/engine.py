@@ -192,9 +192,27 @@ class Simulator:
     trace:
         Optional :class:`~repro.core.trace.TraceLog`; a fresh one is
         created when omitted so tracing is always available.
+    profile:
+        Numeric-fidelity profile inherited by components built on this
+        simulator.  ``"exact"`` (the default) demands bit-identical
+        floating-point behavior from every subsystem — the determinism
+        contract all golden traces and seeded fixtures rely on.
+        ``"fast"`` lets subsystems that offer a relaxed-ulp fast path
+        (currently :class:`~repro.phy.channel.Medium`, see its ``exact``
+        parameter) default to it: protocol semantics are preserved but
+        results are NOT bit-compatible with exact mode.  The kernel
+        itself (event ordering, tie-breaks, RNG streams) is identical in
+        both profiles; only component-level float math is relaxed.
     """
 
-    def __init__(self, seed: int = 0, trace: Optional[TraceLog] = None):
+    PROFILES = ("exact", "fast")
+
+    def __init__(self, seed: int = 0, trace: Optional[TraceLog] = None,
+                 profile: str = "exact"):
+        if profile not in self.PROFILES:
+            raise SimulationError(
+                f"unknown profile {profile!r}; expected one of {self.PROFILES}")
+        self.profile = profile
         self._now = 0.0
         self._heap: List[Tuple[Any, ...]] = []
         self._seq = itertools.count()
@@ -318,35 +336,53 @@ class Simulator:
         heap = self._heap
         heappop = heapq.heappop
         heappush = heapq.heappush
-        handle_class = EventHandle
+        timer_class = Timer
         try:
             if max_events is None and until is not None:
-                # Dominant case (run-until): no budget bookkeeping.
-                while heap and not self._stopped:
-                    entry = heappop(heap)
-                    time = entry[0]
-                    if time > until:
-                        heappush(heap, entry)
-                        break
-                    event = entry[2]
-                    if event is None:
-                        callback = entry[3]
-                        args = entry[4]
-                    elif event.__class__ is handle_class:
-                        if event._cancelled:
-                            continue
-                        event._fired = True
-                        callback = event.callback
-                        args = event.args
-                    else:  # Timer entry: (time, seq, timer, version)
-                        if event._version != entry[3] or not event._armed:
-                            continue  # superseded/cancelled: lazy drop
-                        event._armed = False
-                        callback = event._callback
-                        args = ()
-                    self._now = time
-                    self._events_executed += 1
-                    callback(*args)
+                # Dominant case (run-until): no budget bookkeeping, and
+                # the executed-events counter lives in a local that is
+                # flushed after every callback *assignment-free* region:
+                # the attribute store happens once per loop exit instead
+                # of once per event.  Callbacks observing
+                # ``events_executed`` mid-run would read a stale figure;
+                # nothing in the library does (the counter is
+                # diagnostics), and ``finally`` keeps it correct across
+                # stop()/exception exits.
+                executed = self._events_executed
+                try:
+                    while heap and not self._stopped:
+                        entry = heappop(heap)
+                        time = entry[0]
+                        if time > until:
+                            heappush(heap, entry)
+                            break
+                        event = entry[2]
+                        if event is None:
+                            callback = entry[3]
+                            args = entry[4]
+                        elif event.__class__ is timer_class:
+                            # Timer entry: (time, seq, timer, version).
+                            # Checked before the handle shape —
+                            # re-anchoring timers outnumber EventHandles
+                            # in contention-heavy runs, so the common
+                            # case pays one class test, not two.
+                            if event._version != entry[3] \
+                                    or not event._armed:
+                                continue  # superseded: lazy drop
+                            event._armed = False
+                            callback = event._callback
+                            args = ()
+                        else:
+                            if event._cancelled:
+                                continue
+                            event._fired = True
+                            callback = event.callback
+                            args = event.args
+                        self._now = time
+                        executed += 1
+                        callback(*args)
+                finally:
+                    self._events_executed = executed
             else:
                 budget = max_events if max_events is not None else _INF
                 while heap and not self._stopped and budget > 0:
@@ -359,18 +395,23 @@ class Simulator:
                     if event is None:
                         callback = entry[3]
                         args = entry[4]
-                    elif event.__class__ is handle_class:
-                        if event._cancelled:
-                            continue
-                        event._fired = True
-                        callback = event.callback
-                        args = event.args
-                    else:  # Timer entry: (time, seq, timer, version)
+                    elif event.__class__ is timer_class:
+                        # Timer entry: (time, seq, timer, version).
+                        # Checked before the handle shape — re-anchoring
+                        # timers outnumber EventHandles in contention-
+                        # heavy runs, so the common case pays one class
+                        # test, not two.
                         if event._version != entry[3] or not event._armed:
                             continue  # superseded/cancelled: lazy drop
                         event._armed = False
                         callback = event._callback
                         args = ()
+                    else:
+                        if event._cancelled:
+                            continue
+                        event._fired = True
+                        callback = event.callback
+                        args = event.args
                     self._now = time
                     self._events_executed += 1
                     budget -= 1
@@ -386,7 +427,13 @@ class Simulator:
         self._stopped = True
 
     def clear(self) -> None:
-        """Cancel every pending event (used between experiment phases)."""
+        """Cancel every pending event (used between experiment phases).
+
+        Call it between runs, not from inside a callback: mid-run the
+        executed-events counter is held in a run-loop local (flushed on
+        exit), so a mid-callback clear would re-baseline the
+        diagnostics-only ``pending_events`` figure from a stale value.
+        """
         for entry in self._heap:
             event = entry[2]
             if event is not None:

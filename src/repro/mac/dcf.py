@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace as _dc_replace
+from heapq import heappush as _heappush
 from typing import Any, Callable, Dict, List, Optional
 
 from ..core.engine import Simulator, Timer
@@ -329,7 +330,16 @@ class DcfMac:
         state = radio._state
         if state is not RadioState.IDLE:
             return False
-        if sum(radio._arrivals.values()) >= radio._cca_threshold_watts:
+        # Exact mode re-sums the arrival table (sum([]) == 0.0, so the
+        # empty fast path is bit-identical); fast mode reads the
+        # radio's incident-power accumulator — the same figure its CCA
+        # edges used, so the two can never disagree across a threshold.
+        arrivals = radio._arrivals
+        if radio._exact:
+            incident = sum(arrivals.values()) if arrivals else 0.0
+        else:
+            incident = radio._incident_watts
+        if incident >= radio._cca_threshold_watts:
             return False
         return self.sim._now >= self.nav._until
 
@@ -339,28 +349,53 @@ class DcfMac:
         Runs on every CCA-idle edge, TX completion and decoded frame;
         the ``_medium_idle`` predicate is inlined (KEEP IN SYNC).
         """
+        if self._ifs._armed or self._countdown._armed:
+            return  # already contending (most common reject: checked first)
         if self._current is None or self._awaiting is not None:
             return
         if self._tx_continuation is not None or self._pending_send._armed:
             return  # mid-exchange (about to transmit / SIFS response)
-        if self._ifs._armed or self._countdown._armed:
-            return
+        if self.sim._now < self.nav._until:
+            return  # NAV reservation: rejects every overheard-frame call
         radio = self.radio
         if radio._state is not RadioState.IDLE:
             return  # TX/RX: busy; SLEEP: cannot contend until woken
-        if sum(radio._arrivals.values()) >= radio._cca_threshold_watts:
-            return
-        if self.sim._now < self.nav._until:
+        arrivals = radio._arrivals
+        if radio._exact:
+            incident = sum(arrivals.values()) if arrivals else 0.0
+        else:
+            incident = radio._incident_watts
+        if incident >= radio._cca_threshold_watts:
             return
         standard = self._standard
-        self._ifs.schedule(standard.eifs if self._use_eifs
+        # Timer.schedule inlined (KEEP IN SYNC with engine.Timer): the
+        # DIFS/EIFS constants are positive finite floats, so the bounds
+        # check cannot fire; this arm runs on every idle edge at every
+        # contending station.
+        ifs = self._ifs
+        sim = self.sim
+        if ifs._armed:
+            sim._cancelled_events += 1
+        else:
+            ifs._armed = True
+        ifs._version += 1
+        time = sim._now + (standard.eifs if self._use_eifs
                            else standard.difs)
+        ifs._time = time
+        sim._scheduled += 1
+        _heappush(sim._heap, (time, sim._next_seq(), ifs, ifs._version))
 
     def _cancel_access_timers(self) -> None:
-        self._ifs.cancel()
+        # Timer.cancel inlined x2 (KEEP IN SYNC with engine.Timer);
+        # runs on every CCA-busy edge at every station.
+        ifs = self._ifs
+        if ifs._armed:
+            ifs._armed = False
+            self.sim._cancelled_events += 1
         countdown = self._countdown
         if countdown._armed:
-            countdown.cancel()
+            countdown._armed = False
+            self.sim._cancelled_events += 1
             # Freeze: replay the slot boundaries that elapsed since the
             # anchor with the exact float fold the slot-by-slot
             # countdown performed (anchor + slot + slot + ...), so the
@@ -588,7 +623,7 @@ class DcfMac:
         # is_broadcast / is_multicast predicates inlined (per-frame path).
         broadcast = addr1_value == _BROADCAST_VALUE or \
             bool((addr1_value >> 40) & 0x01)
-        transmitter = frame.transmitter
+        transmitter = frame.addr2  # .transmitter property inlined
         if transmitter is not None:
             controller = self._controllers.get(transmitter)
             if controller is None:
@@ -596,8 +631,26 @@ class DcfMac:
                 self._controllers[transmitter] = controller
             controller.on_snr_measurement(snr_db)
         if not addressed_to_us and not broadcast:
-            self._overheard(frame)
-            self._maybe_start_ifs()
+            # Overheard frame: set the NAV from its duration field.
+            # This branch runs at every third-party station for every
+            # decoded frame, so it is fully inlined — cheapest test
+            # first: update the NAV iff the duration is positive and
+            # the frame is not a PS-Poll (whose duration field carries
+            # an AID, not time).
+            fc = frame.fc
+            duration_us = frame.duration_us
+            if duration_us > 0 and not (
+                    fc.type == FrameType.CONTROL
+                    and fc.subtype == ControlSubtype.PS_POLL):
+                # nav.set_duration inlined: same now + (us * 1e-6) float.
+                self.nav.set_until(self.sim._now + duration_us * 1e-6)
+                self.counters.incr("nav_updates")
+            # While the NAV reservation we (may have) just set is in the
+            # future, _maybe_start_ifs is a guaranteed no-op (its NAV
+            # check rejects, and no earlier check has side effects), so
+            # the call is skipped outright.
+            if self.sim._now >= self.nav._until:
+                self._maybe_start_ifs()
             return
         if frame.is_control:
             self._receive_control(frame, snr_db)
@@ -606,16 +659,6 @@ class DcfMac:
         else:
             self._receive_management(frame, snr_db, broadcast)
         self._maybe_start_ifs()
-
-    # ---------------------------------------------------------- overhearing
-
-    def _overheard(self, frame: Dot11Frame) -> None:
-        """Set the NAV from a frame not addressed to us."""
-        if frame.fc.subtype == ControlSubtype.PS_POLL and frame.is_control:
-            return  # PS-Poll duration field carries an AID, not time
-        if frame.duration_us > 0:
-            self.nav.set_duration(frame.duration_us * 1e-6)
-            self.counters.incr("nav_updates")
 
     # ------------------------------------------------------------- control rx
 

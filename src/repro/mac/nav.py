@@ -13,6 +13,7 @@ truncates a longer reservation already in place.
 
 from __future__ import annotations
 
+from heapq import heappush as _heappush
 from typing import Callable, Optional
 
 from ..core.engine import Simulator, Timer
@@ -52,7 +53,25 @@ class Nav:
             return
         self._until = time
         if self._on_expire is not None:
-            self._timer.schedule(max(time - self._sim._now, 0.0))
+            # Timer.schedule inlined (KEEP IN SYNC with engine.Timer):
+            # this runs once per overheard frame in a busy cell.  The
+            # armed deadline is now + max(time - now, 0.0), the same
+            # floats schedule(delay) produced; frame duration fields
+            # are finite, so the bounds check cannot fire.
+            sim = self._sim
+            now = sim._now
+            delay = time - now
+            deadline = now + (delay if delay > 0.0 else 0.0)
+            timer = self._timer
+            if timer._armed:
+                sim._cancelled_events += 1
+            else:
+                timer._armed = True
+            timer._version += 1
+            timer._time = deadline
+            sim._scheduled += 1
+            _heappush(sim._heap,
+                      (deadline, sim._next_seq(), timer, timer._version))
 
     def set_duration(self, duration: float) -> None:
         """Extend the NAV ``duration`` seconds from now."""

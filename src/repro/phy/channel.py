@@ -12,13 +12,22 @@ error decisions all live in :class:`~repro.phy.transceiver.Radio`.
 
 Fast path: for static topologies the link budget between any two radios
 never changes, so :class:`LinkCache` memoizes the per-pair received
-power and propagation delay.  ``Medium.transmit`` then does one dict
-lookup per receiver instead of a dB-space round-trip (``log10``/``pow``)
-per frame.  Cache entries carry the :class:`~repro.core.topology.Position`
-objects they were computed from; because positions are immutable, a
-moved radio invalidates its links automatically (the identity check
-fails) *and* explicitly (the radio's position setter and the mobility
-models call :meth:`Medium.invalidate_links`).
+power and propagation delay.  On top of it, the medium compiles a
+**fan-out plan** per sender: the audible co-channel receiver set with
+the reception-floor cull done and the per-receiver upcalls, receive
+powers and propagation delays pre-resolved into flat tuples.
+``Medium.transmit`` then degenerates to iterating that flat list and
+pushing two raw heap entries per receiver — no cache lookup, no floor
+check, no per-receiver conditional.  Plans are rebuilt (through
+:class:`LinkCache`, so the floats are bit-identical to the per-receiver
+loop) whenever the topology changes: every path that moves, attaches or
+retunes a radio funnels into :meth:`Medium.invalidate_links` /
+:meth:`Medium.invalidate_channels` / :meth:`Medium.attach`, each of
+which drops the compiled plans.  A plan additionally validates the
+*sender's* position identity and transmit power on every use, so a
+sender mutated behind the hooks still recompiles.  When ``cache_links``
+is off the medium falls back to the historical per-receiver loop
+(fresh propagation evaluation per frame, still bit-identical).
 """
 
 from __future__ import annotations
@@ -142,32 +151,67 @@ class Medium:
         Whether to model the speed-of-light delay (on by default; a few
         hundred nanoseconds at WLAN scale, microseconds at WiMAX scale).
     cache_links:
-        Memoize per-pair link budgets (on by default).  Disable to force
-        a fresh propagation-model evaluation per frame — results are
+        Memoize per-pair link budgets and compile per-sender fan-out
+        plans (on by default).  Disable to force a fresh
+        propagation-model evaluation per frame — results are
         bit-identical either way (both paths go through
         ``received_power_watts``); the knob exists for the determinism
         tests and for exotic models whose loss varies with something
         other than geometry.
+    exact:
+        ``True`` (default): bit-exact float behavior — the historical
+        dB-space preamble/capture decisions and full re-sums of the
+        arrival table, guaranteed identical to every committed golden
+        trace.  ``False``: the **relaxed-ulp fast mode** — receivers
+        keep a running incident-power accumulator (drift-rebased) and
+        decide preamble detection and capture with precomputed
+        linear-domain thresholds, and fan-out plans compute receive
+        power via the propagation model's ``link_gain``.  Protocol
+        *semantics* are unchanged but results are documented as
+        bit-INcompatible with exact mode: seeded stats may drift by the
+        odd frame whenever a decision lands within a few ulp of a
+        threshold.  ``None`` inherits from the simulator's ``profile``
+        (``Simulator(profile="fast")`` => relaxed).  See
+        PERFORMANCE.md, "Exact vs fast mode".
     """
+
+    #: Every N-th transmit prunes expired entries from the per-channel
+    #: active lists (amortized out of the hot path; the lists stay
+    #: bounded by live-transmissions + GC_STRIDE).
+    GC_STRIDE = 64
 
     def __init__(self, sim: Simulator, propagation: PropagationModel,
                  reception_floor_dbm: float = -110.0,
                  propagation_delay: bool = True,
-                 cache_links: bool = True):
+                 cache_links: bool = True,
+                 exact: Optional[bool] = None):
         self.sim = sim
         self.propagation = propagation
         self.reception_floor_watts = dbm_to_watts(reception_floor_dbm)
         self.propagation_delay = propagation_delay
         self.cache_links = cache_links
+        self.exact = (sim.profile != "fast") if exact is None else bool(exact)
         self.links = LinkCache()
         self._radios: List[Radio] = []
         self._active: Dict[int, List[Transmission]] = {}
+        self._gc_countdown = self.GC_STRIDE
         # Per-channel fan-out lists: ``(radio, arrival_begins,
         # arrival_ends)`` with the bound methods pre-resolved (attach
         # order preserved, so the arrival fan-out visits receivers in
         # the same deterministic order as a scan of the full radio
         # list).  Invalidated wholesale on attach and on any retune.
         self._by_channel: Dict[int, List[Tuple[Radio, Any, Any]]] = {}
+        # Compiled fan-out plans: sender -> (tx_position, tx_power,
+        # entries) where entries is a flat tuple of (arrival_begins,
+        # arrival_ends, rx_power_watts, delay_s) per audible co-channel
+        # receiver, in attach order.  Dropped wholesale by every
+        # topology-change hook; validated per transmit against the
+        # sender's own position identity and power.
+        self._plans: Dict[Radio, Tuple[Any, float, Tuple[Tuple[Any, Any,
+                                                               float, float],
+                                                         ...]]] = {}
+        self.plan_hits = 0
+        self.plan_misses = 0
 
     def attach(self, radio: Radio) -> None:
         """Register a radio (called from the Radio constructor)."""
@@ -175,17 +219,25 @@ class Medium:
             raise ConfigurationError(f"radio {radio.name} attached twice")
         self._radios.append(radio)
         self._by_channel.clear()
+        self._plans.clear()
 
     def invalidate_channels(self) -> None:
         """Drop the per-channel radio lists (a radio retuned)."""
         self._by_channel.clear()
+        self._plans.clear()
 
     def _channel_members(self, channel_id: int) -> List[Tuple[Radio, Any, Any]]:
         members = self._by_channel.get(channel_id)
         if members is None:
-            members = [(radio, radio.arrival_begins, radio.arrival_ends)
-                       for radio in self._radios
-                       if radio._channel_id == channel_id]
+            if self.exact:
+                members = [(radio, radio.arrival_begins, radio.arrival_ends)
+                           for radio in self._radios
+                           if radio._channel_id == channel_id]
+            else:
+                members = [(radio, radio.arrival_begins_fast,
+                            radio.arrival_ends_fast)
+                           for radio in self._radios
+                           if radio._channel_id == channel_id]
             self._by_channel[channel_id] = members
         return members
 
@@ -194,9 +246,16 @@ class Medium:
 
         Called from :class:`~repro.phy.transceiver.Radio`'s position
         setter and from the mobility models on every move; call it
-        directly after mutating the propagation model itself.
+        directly after mutating the propagation model itself.  Also
+        drops every compiled fan-out plan: a receiver that moved may
+        appear in (or drop out of) any sender's audible set, and the
+        plan carries its receive power, so partial invalidation by
+        sender would be unsound.  Recompilation is amortized — on a
+        mobile tick each active sender recompiles once, against a
+        LinkCache that still holds every unmoved pair.
         """
         self.links.invalidate(radio)
+        self._plans.clear()
 
     def radios_on_channel(self, channel_id: int) -> List[Radio]:
         return [radio for radio, _begins, _ends
@@ -210,7 +269,67 @@ class Medium:
         self._active[channel_id] = alive
         return list(alive)
 
+    def _gc_active(self) -> None:
+        """Prune expired transmissions from every per-channel list.
+
+        Runs every :attr:`GC_STRIDE` transmits instead of on each one:
+        the lists only feed diagnostics (:meth:`active_transmissions`
+        prunes on read anyway), so the hot path should not pay a full
+        list scan per frame.  Between strides a list holds at most
+        live-transmissions + GC_STRIDE entries, so growth stays bounded.
+        """
+        self._gc_countdown = self.GC_STRIDE
+        now = self.sim._now
+        for channel_id, active in self._active.items():
+            alive = [tx for tx in active if tx.end_time > now]
+            if len(alive) != len(active):
+                self._active[channel_id] = alive
+
     # --- transmission fan-out ------------------------------------------------
+
+    def _compile_plan(self, sender: Radio, channel: int, power_watts: float
+                      ) -> Tuple[Any, float,
+                                 Tuple[Tuple[Any, Any, float, float], ...]]:
+        """Build (and memoize) the sender's plan record.
+
+        Returns the full ``(tx_position, tx_power, entries)`` record as
+        stored in ``_plans`` — callers index ``[2]`` for the flat
+        per-receiver entries tuple.
+
+        Exact mode resolves receive powers through :class:`LinkCache`
+        (bit-identical to the per-receiver loop, and warm pairs stay
+        warm across recompiles); fast mode computes them in linear
+        domain via the propagation model's ``link_gain`` — cheaper, but
+        only ulp-compatible, which is fast mode's documented contract.
+        """
+        floor = self.reception_floor_watts
+        propagation = self.propagation
+        model_delay = self.propagation_delay
+        exact = self.exact
+        lookup = self.links.lookup
+        tx_pos = sender.position
+        entries = []
+        for receiver, begins, ends in self._channel_members(channel):
+            if receiver is sender:
+                continue
+            if exact:
+                cached = lookup(propagation, sender, receiver, power_watts)
+                rx_power = cached[0]
+                if rx_power < floor:
+                    continue
+                delay = cached[1] if model_delay else 0.0
+            else:
+                rx_pos = receiver.position
+                rx_power = power_watts * propagation.link_gain(tx_pos, rx_pos)
+                if rx_power < floor:
+                    continue
+                delay = tx_pos.distance_to(rx_pos) / SPEED_OF_LIGHT \
+                    if model_delay else 0.0
+            entries.append((begins, ends, rx_power, delay))
+        plan = tuple(entries)
+        record = (tx_pos, power_watts, plan)
+        self._plans[sender] = record
+        return record
 
     def transmit(self, sender: Radio, payload: Any, size_bits: int,
                  mode: PhyMode, duration: float, power_watts: float
@@ -221,44 +340,73 @@ class Medium:
         channel = sender._channel_id
         transmission = Transmission(sender, payload, size_bits, mode,
                                     power_watts, now, duration)
-        self._active.setdefault(channel, []).append(transmission)
-        self.active_transmissions(channel)  # opportunistic GC
-        # Hot loop: bind everything once; one cache lookup per receiver
-        # and two raw heap pushes (schedule_fast_at inlined — the
-        # delays are nonnegative by construction, so the bounds checks
-        # are redundant here; entry shape and seq consumption are
-        # identical to the schedule_fast_at path).
+        active = self._active.get(channel)
+        if active is None:
+            active = self._active[channel] = []
+        active.append(transmission)
+        self._gc_countdown -= 1
+        if self._gc_countdown <= 0:
+            self._gc_active()
+        heap = sim._heap
+        next_seq = sim._next_seq
+        if self.cache_links:
+            # Compiled fan-out: the floor cull and link-budget lookups
+            # happened at compile time, so the hot loop is a flat
+            # iteration with two raw heap pushes per audible receiver
+            # (schedule_fast_at inlined — the delays are nonnegative by
+            # construction, so the bounds checks are redundant here;
+            # entry shape and seq consumption are identical to the
+            # schedule_fast_at path).  The plan is validated against
+            # the sender's position identity and transmit power; every
+            # receiver-side topology change drops the plan via the
+            # invalidation hooks.
+            plan = self._plans.get(sender)
+            if plan is not None and plan[0] is sender._position \
+                    and plan[1] == power_watts:
+                self.plan_hits += 1
+            else:
+                plan = self._compile_plan(sender, channel, power_watts)
+                self.plan_misses += 1
+            entries = plan[2]
+            # NOTE: a fully fused fan-out (one begins sweep + one ends
+            # sweep per frame) was prototyped for fast mode and
+            # rejected: collapsing the per-receiver propagation-delay
+            # stagger onto a common instant aligns every contender's
+            # slot grid, which turns nanosecond-resolved near-ties into
+            # genuine collisions — delivery dropped ~19% on the dense
+            # macro.  The stagger is load-bearing contention physics,
+            # not ulp noise, so both modes keep per-receiver edges.
+            for begins, ends, rx_power, delay in entries:
+                _heappush(heap, (now + delay, next_seq(), None, begins,
+                                 (transmission, rx_power)))
+                # Parenthesized to match the historical relative-delay
+                # float arithmetic exactly: now + (delay + duration),
+                # NOT (now + delay) + duration — the ulp difference is
+                # enough to reorder CCA edges and desynchronize seeded
+                # runs.
+                _heappush(heap, (now + (delay + duration), next_seq(),
+                                 None, ends, (transmission,)))
+            sim._scheduled += 2 * len(entries)
+            return transmission
+        # Uncached fallback: fresh propagation evaluation per receiver
+        # per frame (bit-identical outcomes; see cache_links docs).
         floor = self.reception_floor_watts
         propagation = self.propagation
         model_delay = self.propagation_delay
-        lookup = self.links.lookup if self.cache_links else None
-        heap = sim._heap
-        next_seq = sim._next_seq
         scheduled = 0
         for receiver, begins, ends in self._channel_members(channel):
             if receiver is sender:
                 continue
-            if lookup is not None:
-                entry = lookup(propagation, sender, receiver, power_watts)
-                rx_power = entry[0]
-                if rx_power < floor:
-                    continue
-                delay = entry[1] if model_delay else 0.0
-            else:
-                tx_pos = sender.position
-                rx_pos = receiver.position
-                rx_power = propagation.received_power_watts(
-                    power_watts, tx_pos, rx_pos)
-                if rx_power < floor:
-                    continue
-                delay = tx_pos.distance_to(rx_pos) / SPEED_OF_LIGHT \
-                    if model_delay else 0.0
+            tx_pos = sender.position
+            rx_pos = receiver.position
+            rx_power = propagation.received_power_watts(
+                power_watts, tx_pos, rx_pos)
+            if rx_power < floor:
+                continue
+            delay = tx_pos.distance_to(rx_pos) / SPEED_OF_LIGHT \
+                if model_delay else 0.0
             _heappush(heap, (now + delay, next_seq(), None, begins,
                              (transmission, rx_power)))
-            # Parenthesized to match the historical relative-delay float
-            # arithmetic exactly: now + (delay + duration), NOT
-            # (now + delay) + duration — the ulp difference is enough to
-            # reorder CCA edges and desynchronize seeded runs.
             _heappush(heap, (now + (delay + duration), next_seq(), None,
                              ends, (transmission,)))
             scheduled += 2

@@ -66,8 +66,13 @@ class BerErrorModel(ErrorModel):
         path.  The RNG is always drawn exactly once, like the base
         implementation, to keep seeded streams aligned."""
         key = (snr_db, size_bits, modulation)
-        per = _per_cache.get(key)
-        if per is None:
+        try:
+            # The PER lookup must complete before the RNG draw: putting
+            # the draw on the left of the comparison would evaluate it
+            # before a cache miss raises, double-drawing on misses and
+            # desynchronizing the seeded stream.
+            per = _per_cache[key]
+        except KeyError:
             per = 0.0
             if size_bits > 0:
                 ber = modulation.ber(snr_db)

@@ -58,6 +58,19 @@ class Modulation:
     coding_gain_db: float = 0.0
     code_rate: float = 1.0
 
+    def __hash__(self) -> int:
+        # The dataclass-generated hash rebuilds and hashes the full
+        # field tuple on every call, and modulations are hashed once
+        # per delivered frame (the PER memo key).  Hash the same tuple
+        # once and cache it — equal modulations still hash equal, so
+        # dict semantics are unchanged.
+        return self._hash_cache
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash_cache", hash(
+            (self.name, self.bits_per_symbol, self.processing_gain_db,
+             self.coding_gain_db, self.code_rate)))
+
     def ber(self, snr_db: float) -> float:
         """Bit error probability at the given SNR (dB over signal bandwidth).
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
+from heapq import heappush as _heappush
 from typing import Any, Callable, Dict, Optional, Set, TYPE_CHECKING
 
 from ..core.engine import Timer
@@ -90,7 +91,9 @@ class Radio:
                  "_noise_watts", "_cca_threshold_watts", "decodable_modes",
                  "_tx_mode_names", "_arrivals", "_locked", "_locked_power",
                  "_locked_tracker", "_cca_busy", "_sim", "_rng", "_trace",
-                 "_rx_timer", "_capture", "_snr_cache")
+                 "_rx_timer", "_capture", "_snr_cache", "_exact",
+                 "_tracker", "_incident_watts", "_edges_since_rebase",
+                 "_preamble_floor_watts", "_capture_ratio")
 
     def __init__(self, name: str, medium: "Medium", standard: PhyStandard,
                  position: Position, channel_id: int = 1,
@@ -142,6 +145,21 @@ class Radio:
         # Memoized preamble SNR per exact receive power (pure function
         # of power/noise; static links repeat the same few powers).
         self._snr_cache: Dict[float, float] = {}
+        # Pre-allocated SINR tracker, reset per lock (a radio locks at
+        # most one frame at a time; the per-lock allocation showed up
+        # in saturation profiles).
+        self._tracker = SinrTracker(0.0, 0.0, 0.0)
+        # Relaxed-math (fast mode) state; maintained only when the
+        # medium binds the *_fast arrival methods.  _incident_watts is
+        # the running incident-power accumulator (drift-rebased);
+        # _preamble_floor_watts / _capture_ratio are the linear-domain
+        # decision thresholds fast mode uses in place of the dB math.
+        self._exact = medium.exact
+        self._incident_watts = 0.0
+        self._edges_since_rebase = 0
+        self._preamble_floor_watts = self._noise_watts * \
+            10.0 ** (self.config.preamble_detection_snr_db / 10.0)
+        self._capture_ratio = self._capture.threshold_ratio()
         medium.attach(self)
 
     # --- helpers ----------------------------------------------------------
@@ -180,11 +198,14 @@ class Radio:
     @noise_watts.setter
     def noise_watts(self, value: float) -> None:
         """Change the noise floor; invalidates the memoized preamble
-        SNRs (which are pure functions of power / noise)."""
+        SNRs (which are pure functions of power / noise) and refreshes
+        the fast mode's linear-domain preamble floor."""
         if value == self._noise_watts:
             return
         self._noise_watts = value
         self._snr_cache.clear()
+        self._preamble_floor_watts = value * \
+            10.0 ** (self.config.preamble_detection_snr_db / 10.0)
 
     @property
     def channel_id(self) -> int:
@@ -235,7 +256,12 @@ class Radio:
         # Transmitting aborts any in-progress reception (half duplex).
         if self._locked is not None:
             self._abort_locked()
-        self.state = RadioState.TX
+        # state-property setter inlined on the TX/RX hot transitions:
+        # these are always real state changes, so only the upcall check
+        # remains (KEEP IN SYNC with the state setter).
+        self._state = RadioState.TX
+        if self.on_state_change is not None:
+            self.on_state_change(RadioState.TX.value)
         self._update_cca()
         duration = self.standard.frame_airtime(size_bits, mode)
         self.medium.transmit(self, payload, size_bits, mode, duration,
@@ -248,7 +274,9 @@ class Radio:
         return duration
 
     def _tx_complete(self) -> None:
-        self.state = RadioState.IDLE
+        self._state = RadioState.IDLE  # state setter inlined (TX -> IDLE)
+        if self.on_state_change is not None:
+            self.on_state_change(RadioState.IDLE.value)
         self._update_cca()
         self.on_tx_end()
 
@@ -281,8 +309,13 @@ class Radio:
 
         The hottest callback in any run (once per frame per co-channel
         radio); ``_update_cca`` is inlined at the tail (KEEP IN SYNC).
+        Single-arrival edges skip the full table re-sum: ``sum([x])``
+        is ``0.0 + x``, which is bit-identical to ``x`` for the
+        non-negative powers the medium delivers, so the fast path is
+        exact, not approximate.
         """
-        self._arrivals[transmission] = power_watts
+        arrivals = self._arrivals
+        arrivals[transmission] = power_watts
         state = self._state
         if state is RadioState.SLEEP:
             return
@@ -298,8 +331,10 @@ class Radio:
         state = self._state
         if state is RadioState.TX or state is RadioState.RX:
             busy = True
+        elif len(arrivals) == 1:
+            busy = power_watts >= self._cca_threshold_watts
         else:
-            busy = sum(self._arrivals.values()) >= self._cca_threshold_watts
+            busy = sum(arrivals.values()) >= self._cca_threshold_watts
         if busy != self._cca_busy:
             self._cca_busy = busy
             if busy:
@@ -310,9 +345,12 @@ class Radio:
     def arrival_ends(self, transmission: "Transmission") -> None:
         """A transmission's energy stops arriving (its airtime elapsed).
 
-        ``_update_cca`` inlined at the tail (KEEP IN SYNC).
+        ``_update_cca`` inlined at the tail (KEEP IN SYNC).  An emptied
+        arrival table short-circuits the re-sum (``sum([])`` is exactly
+        ``0.0``).
         """
-        self._arrivals.pop(transmission, None)
+        arrivals = self._arrivals
+        arrivals.pop(transmission, None)
         locked = self._locked
         if locked is not None and locked is not transmission:
             self._refresh_interference()
@@ -321,14 +359,138 @@ class Radio:
             busy = True
         elif state is RadioState.SLEEP:
             busy = False
+        elif not arrivals:
+            busy = 0.0 >= self._cca_threshold_watts
         else:
-            busy = sum(self._arrivals.values()) >= self._cca_threshold_watts
+            busy = sum(arrivals.values()) >= self._cca_threshold_watts
         if busy != self._cca_busy:
             self._cca_busy = busy
             if busy:
                 self.on_cca_busy()
             else:
                 self.on_cca_idle()
+
+    # --- relaxed-math receive path (fast mode; medium binds these) ----------
+
+    def arrival_begins_fast(self, transmission: "Transmission",
+                            power_watts: float) -> None:
+        """Fast-mode twin of :meth:`arrival_begins`.
+
+        Maintains the running incident-power accumulator instead of
+        re-summing the arrival table, and decides capture with the
+        precomputed linear threshold ratio.  Semantics match the exact
+        path; float results may differ by a few ulp (see the medium's
+        ``exact`` parameter).
+        """
+        self._arrivals[transmission] = power_watts
+        self._incident_watts += power_watts
+        state = self._state
+        if state is RadioState.SLEEP:
+            return
+        if self._locked is not None:
+            # Linear capture check: with capture disabled the ratio is
+            # +inf, so the comparison is False for every finite power
+            # (0 * inf -> nan also compares False) — one multiply
+            # replaces CaptureModel.should_capture's branchy dB math.
+            if power_watts >= self._locked_power * self._capture_ratio:
+                self._abort_locked()
+                self._try_lock_fast(transmission, power_watts)
+            else:
+                self._refresh_interference_fast()
+        elif state is RadioState.IDLE:
+            self._try_lock_fast(transmission, power_watts)
+        state = self._state
+        if state is RadioState.TX or state is RadioState.RX:
+            busy = True
+        else:
+            busy = self._incident_watts >= self._cca_threshold_watts
+        if busy != self._cca_busy:
+            self._cca_busy = busy
+            if busy:
+                self.on_cca_busy()
+            else:
+                self.on_cca_idle()
+
+    def arrival_ends_fast(self, transmission: "Transmission") -> None:
+        """Fast-mode twin of :meth:`arrival_ends`.
+
+        Decrements the accumulator and rebases it against the exact
+        table sum every 256 departures (and exactly to ``0.0`` whenever
+        the table empties), so float residue from the running
+        add/subtract stream cannot drift the CCA decision over a long
+        run.
+        """
+        arrivals = self._arrivals
+        power = arrivals.pop(transmission, None)
+        if power is not None:
+            if arrivals:
+                self._edges_since_rebase += 1
+                if self._edges_since_rebase >= 256:
+                    self._edges_since_rebase = 0
+                    self._incident_watts = sum(arrivals.values())
+                else:
+                    total = self._incident_watts - power
+                    self._incident_watts = total if total > 0.0 else 0.0
+            else:
+                self._incident_watts = 0.0
+                self._edges_since_rebase = 0
+        locked = self._locked
+        if locked is not None and locked is not transmission:
+            self._refresh_interference_fast()
+        state = self._state
+        if state is RadioState.TX or state is RadioState.RX:
+            busy = True
+        elif state is RadioState.SLEEP:
+            busy = False
+        else:
+            busy = self._incident_watts >= self._cca_threshold_watts
+        if busy != self._cca_busy:
+            self._cca_busy = busy
+            if busy:
+                self.on_cca_busy()
+            else:
+                self.on_cca_idle()
+
+    def _try_lock_fast(self, transmission: "Transmission",
+                       power_watts: float) -> None:
+        """Fast-mode preamble detection: one linear-domain compare
+        against the precomputed ``noise * 10^(snr/10)`` floor instead of
+        a memoized ``log10`` — within ulp of the dB decision."""
+        if power_watts < self._preamble_floor_watts:
+            return  # too weak to even see a preamble: pure noise
+        if transmission.mode.name not in self.decodable_modes:
+            return  # foreign PHY: energy only
+        sim = self._sim
+        timer = self._rx_timer  # Timer.schedule inlined (see _try_lock)
+        if timer._armed:
+            sim._cancelled_events += 1
+        else:
+            timer._armed = True
+        timer._version += 1
+        time = sim._now + transmission.duration
+        timer._time = time
+        sim._scheduled += 1
+        _heappush(sim._heap, (time, sim._next_seq(), timer, timer._version))
+        self._locked = transmission
+        self._locked_power = power_watts
+        interference = self._incident_watts - power_watts
+        self._locked_tracker = self._tracker.reset(
+            power_watts, self._noise_watts, sim._now,
+            interference if interference > 0.0 else 0.0)
+        self._state = RadioState.RX  # state setter inlined (IDLE -> RX)
+        if self.on_state_change is not None:
+            self.on_state_change(RadioState.RX.value)
+
+    def _refresh_interference_fast(self) -> None:
+        if self._locked is None:
+            return
+        interference = self._incident_watts - self._locked_power
+        if interference < 0.0:
+            interference = 0.0
+        tracker = self._locked_tracker
+        if interference == 0.0 and tracker._current_interference == 0.0:
+            return  # zero-rate segment either way; skip the bookkeeping
+        tracker.set_interference(self._sim._now, interference)
 
     def _try_lock(self, transmission: "Transmission",
                   power_watts: float) -> None:
@@ -337,8 +499,9 @@ class Radio:
         # threshold, which is enough to desynchronize a seeded run.
         # Memoized on the exact receive power (one log10 per distinct
         # link budget instead of one per arrival).
-        snr_db = self._snr_cache.get(power_watts)
-        if snr_db is None:
+        try:
+            snr_db = self._snr_cache[power_watts]
+        except KeyError:
             snr_db = linear_to_db(power_watts / self.noise_watts) \
                 if self.noise_watts > 0 else float("inf")
             if len(self._snr_cache) >= 4096:
@@ -349,25 +512,71 @@ class Radio:
         if transmission.mode.name not in self.decodable_modes:
             return  # foreign PHY: energy only
         sim = self._sim
-        interference = sum(self._arrivals.values()) - power_watts
+        arrivals = self._arrivals
+        # _try_lock only runs from arrival_begins, so the new arrival is
+        # already in the table; when it is the only one the re-sum
+        # collapses to exactly 0.0 (sum([x]) - x == (0.0 + x) - x).
+        if len(arrivals) == 1:
+            interference = 0.0
+        else:
+            interference = sum(arrivals.values()) - power_watts
         # _try_lock only ever runs at the instant the energy starts
         # arriving, so the frame's tail lands exactly one airtime later
         # (the propagation delay shifted the whole frame, not its length).
-        self._rx_timer.schedule(transmission.duration)
+        # Timer.schedule inlined (KEEP IN SYNC with engine.Timer):
+        # airtime is a positive finite float so the bounds check cannot
+        # fire, and this runs once per lock at every receiver.
+        timer = self._rx_timer
+        if timer._armed:
+            sim._cancelled_events += 1
+        else:
+            timer._armed = True
+        timer._version += 1
+        now = sim._now
+        time = now + transmission.duration
+        timer._time = time
+        sim._scheduled += 1
+        _heappush(sim._heap, (time, sim._next_seq(), timer, timer._version))
         self._locked = transmission
         self._locked_power = power_watts
-        self._locked_tracker = SinrTracker(power_watts, self.noise_watts,
-                                           sim._now, interference)
-        self.state = RadioState.RX
+        # SinrTracker.reset inlined (KEEP IN SYNC): one lock per decoded
+        # frame per receiver, and the field stores are all there is.
+        tracker = self._tracker
+        tracker.signal_watts = power_watts
+        tracker.noise_watts = self._noise_watts
+        tracker._start = now
+        tracker._last_time = now
+        tracker._current_interference = interference
+        tracker._energy = 0.0
+        self._locked_tracker = tracker
+        self._state = RadioState.RX  # state setter inlined (IDLE -> RX)
+        if self.on_state_change is not None:
+            self.on_state_change(RadioState.RX.value)
 
     def _refresh_interference(self) -> None:
-        if self._locked is None:
+        locked = self._locked
+        if locked is None:
             return
-        interference = sum(self._arrivals.values()) - self._locked_power
-        # The locked signal may have already left the arrival table if it
-        # ended; guard against a small negative residue.
-        self._locked_tracker.set_interference(self._sim._now,
-                                              max(interference, 0.0))
+        arrivals = self._arrivals
+        if len(arrivals) == 1 and locked in arrivals:
+            # Only the locked signal is on the air: the historical
+            # expression sum([locked_power]) - locked_power is exactly
+            # 0.0, so skip the re-sum.
+            interference = 0.0
+        else:
+            interference = sum(arrivals.values()) - self._locked_power
+            # The locked signal may have already left the arrival table
+            # if it ended; guard against a small negative residue (the
+            # `< 0.0` branch keeps -0.0 exactly as max(x, 0.0) did).
+            if interference < 0.0:
+                interference = 0.0
+        tracker = self._locked_tracker
+        if interference == 0.0 and tracker._current_interference == 0.0:
+            # A zero->zero update only moves the tracker's last-update
+            # time across a segment that accrues 0.0 energy either way;
+            # skipping it leaves every later energy sum bit-identical.
+            return
+        tracker.set_interference(self._sim._now, interference)
 
     def _abort_locked(self) -> None:
         assert self._locked is not None
@@ -384,7 +593,9 @@ class Radio:
         tracker = self._locked_tracker
         self._locked = None
         self._locked_tracker = None
-        self.state = RadioState.IDLE
+        self._state = RadioState.IDLE  # state setter inlined (RX -> IDLE)
+        if self.on_state_change is not None:
+            self.on_state_change(RadioState.IDLE.value)
         now = self._sim._now
         snr_db = tracker.sinr_db(now)
         success = self.error_model.frame_survives(
@@ -395,7 +606,21 @@ class Radio:
             trace.record(now, self.name, "phy-rx-end",
                          ok=success, snr=round(snr_db, 1),
                          mode=transmission.mode.name)
-        self._update_cca()
+        # _update_cca inlined (KEEP IN SYNC): the state was just set to
+        # IDLE above, so only the arrival-table branch remains.
+        arrivals = self._arrivals
+        if not arrivals:
+            busy = 0.0 >= self._cca_threshold_watts
+        elif self._exact:
+            busy = sum(arrivals.values()) >= self._cca_threshold_watts
+        else:
+            busy = self._incident_watts >= self._cca_threshold_watts
+        if busy != self._cca_busy:
+            self._cca_busy = busy
+            if busy:
+                self.on_cca_busy()
+            else:
+                self.on_cca_idle()
         self.on_rx_end(transmission.payload, success, snr_db,
                        transmission.mode)
 
@@ -406,13 +631,19 @@ class Radio:
 
         KEEP IN SYNC with the flattened copies of this predicate in
         :meth:`_update_cca` below and ``DcfMac._medium_idle`` — they
-        avoid the method-call layers on the per-arrival hot path.
+        avoid the method-call layers on the per-arrival hot path.  In
+        fast mode the incident-power accumulator is the single source
+        of truth (matching the decisions the ``*_fast`` arrival edges
+        made), so threshold-straddling float residue cannot disagree
+        with an already-delivered CCA edge.
         """
         state = self._state
         if state is RadioState.TX or state is RadioState.RX:
             return True
         if state is RadioState.SLEEP:
             return False
+        if not self._exact:
+            return self._incident_watts >= self._cca_threshold_watts
         return sum(self._arrivals.values()) >= self._cca_threshold_watts
 
     def _update_cca(self) -> None:
@@ -424,7 +655,13 @@ class Radio:
         elif state is RadioState.SLEEP:
             busy = False
         else:
-            busy = sum(self._arrivals.values()) >= self._cca_threshold_watts
+            arrivals = self._arrivals
+            if not arrivals:
+                busy = 0.0 >= self._cca_threshold_watts
+            elif self._exact:
+                busy = sum(arrivals.values()) >= self._cca_threshold_watts
+            else:
+                busy = self._incident_watts >= self._cca_threshold_watts
         if busy == self._cca_busy:
             return
         self._cca_busy = busy

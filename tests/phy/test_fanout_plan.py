@@ -1,0 +1,197 @@
+"""Tests for the compiled arrival fan-out plans and their invalidation.
+
+The plan is a pure restructuring of ``Medium.transmit``'s per-receiver
+loop: every topology-change hook must rebuild it (asserted through the
+``plan_hits`` / ``plan_misses`` counters), and a planned run must stay
+bit-identical to the uncached per-receiver loop.
+"""
+
+import pytest
+
+from repro.core import Position, Simulator
+from repro.mobility.models import LinearMobility
+from repro.phy.channel import Medium
+from repro.phy.propagation import LogDistance
+from repro.phy.standards import DOT11B
+from repro.phy.transceiver import Radio
+
+
+def _medium(sim, **kwargs):
+    return Medium(sim, LogDistance(DOT11B.band_hz, exponent=3.0), **kwargs)
+
+
+def _cell(sim, receivers=3, **kwargs):
+    medium = _medium(sim, **kwargs)
+    tx = Radio("tx", medium, DOT11B, Position(0, 0, 0))
+    rxs = [Radio(f"rx{i}", medium, DOT11B, Position(5.0 + i, 0, 0))
+           for i in range(receivers)]
+    return medium, tx, rxs
+
+
+MODE = DOT11B.modes[0]
+
+
+class TestPlanCompilation:
+    def test_first_transmit_compiles_then_hits(self, sim):
+        medium, tx, _rxs = _cell(sim)
+        tx.transmit(b"a", 800, MODE)
+        assert (medium.plan_misses, medium.plan_hits) == (1, 0)
+        sim.run(until=0.1)
+        tx.transmit(b"b", 800, MODE)
+        assert (medium.plan_misses, medium.plan_hits) == (1, 1)
+
+    def test_plan_culls_sub_floor_receivers(self, sim):
+        medium = Medium(sim, LogDistance(DOT11B.band_hz, exponent=4.0),
+                        reception_floor_dbm=-60.0)
+        tx = Radio("tx", medium, DOT11B, Position(0, 0, 0))
+        near = Radio("near", medium, DOT11B, Position(3, 0, 0))
+        far = Radio("far", medium, DOT11B, Position(5000, 0, 0))
+        tx.transmit(b"x", 800, MODE)
+        plan = medium._plans[tx][2]
+        planned = {entry[0].__self__ for entry in plan}
+        assert near in planned
+        assert far not in planned
+
+    def test_plan_goes_through_link_cache(self, sim):
+        medium, tx, rxs = _cell(sim)
+        tx.transmit(b"x", 800, MODE)
+        rx_power = medium._plans[tx][2][0][2]
+        expected = medium.propagation.received_power_watts(
+            tx.tx_power_watts, tx.position, rxs[0].position)
+        assert rx_power == expected  # bit-identical, not approx
+        assert medium.links.misses == len(rxs)
+
+    def test_uncached_medium_never_plans(self, sim):
+        medium, tx, _rxs = _cell(sim, cache_links=False)
+        tx.transmit(b"x", 800, MODE)
+        assert medium.plan_misses == 0
+        assert medium.plan_hits == 0
+        assert not medium._plans
+
+
+class TestPlanInvalidation:
+    def _warm(self, sim, medium, tx):
+        tx.transmit(b"w", 800, MODE)
+        sim.run(until=sim.now + 0.05)
+        assert medium.plan_misses == 1
+
+    def test_receiver_position_setter_rebuilds(self, sim):
+        medium, tx, rxs = _cell(sim)
+        self._warm(sim, medium, tx)
+        rxs[0].position = Position(50, 0, 0)
+        tx.transmit(b"x", 800, MODE)
+        assert medium.plan_misses == 2
+
+    def test_sender_position_setter_rebuilds(self, sim):
+        medium, tx, _rxs = _cell(sim)
+        self._warm(sim, medium, tx)
+        tx.position = Position(1, 1, 0)
+        tx.transmit(b"x", 800, MODE)
+        assert medium.plan_misses == 2
+
+    def test_sender_move_behind_the_hooks_rebuilds(self, sim):
+        """Even a direct ``_position`` write (no invalidation hook) on
+        the *sender* misses: the plan validates its position identity."""
+        medium, tx, _rxs = _cell(sim)
+        self._warm(sim, medium, tx)
+        tx._position = Position(2, 2, 0)
+        tx.transmit(b"x", 800, MODE)
+        assert medium.plan_misses == 2
+
+    def test_mobility_step_rebuilds(self, sim):
+        medium, tx, rxs = _cell(sim)
+        self._warm(sim, medium, tx)
+        LinearMobility(sim, rxs[0], Position(40, 0, 0), speed_mps=20.0,
+                       tick=0.1).start()
+        sim.run(until=sim.now + 0.25)  # at least one mobility tick
+        tx.transmit(b"x", 800, MODE)
+        assert medium.plan_misses == 2
+        # The plan carries the receiver's fresh link budget.
+        plan = medium._plans[tx][2]
+        moved = next(entry for entry in plan
+                     if entry[0].__self__ is rxs[0])
+        expected = medium.propagation.received_power_watts(
+            tx.tx_power_watts, tx.position, rxs[0].position)
+        assert moved[2] == expected
+
+    def test_channel_retune_rebuilds(self, sim):
+        medium, tx, rxs = _cell(sim)
+        self._warm(sim, medium, tx)
+        rxs[0].channel_id = 6
+        tx.transmit(b"x", 800, MODE)
+        assert medium.plan_misses == 2
+        planned = {entry[0].__self__ for entry in medium._plans[tx][2]}
+        assert rxs[0] not in planned
+
+    def test_invalidate_links_rebuilds(self, sim):
+        medium, tx, _rxs = _cell(sim)
+        self._warm(sim, medium, tx)
+        medium.invalidate_links()
+        tx.transmit(b"x", 800, MODE)
+        assert medium.plan_misses == 2
+
+    def test_attach_rebuilds(self, sim):
+        medium, tx, _rxs = _cell(sim)
+        self._warm(sim, medium, tx)
+        late = Radio("late", medium, DOT11B, Position(9, 0, 0))
+        tx.transmit(b"x", 800, MODE)
+        assert medium.plan_misses == 2
+        planned = {entry[0].__self__ for entry in medium._plans[tx][2]}
+        assert late in planned
+
+    def test_tx_power_change_rebuilds(self, sim):
+        medium, tx, _rxs = _cell(sim)
+        self._warm(sim, medium, tx)
+        tx.tx_power_watts *= 2.0
+        tx.transmit(b"x", 800, MODE)
+        assert medium.plan_misses == 2
+
+
+class TestPlannedVersusUncachedDeterminism:
+    def test_same_seed_same_arrivals(self):
+        """Planned and uncached runs must deliver identical per-arrival
+        powers in identical order — the bit-identity contract."""
+        arrivals = []
+
+        class SpyRadio(Radio):
+            def arrival_begins(self, transmission, power):
+                arrivals.append((self.name, power))
+                Radio.arrival_begins(self, transmission, power)
+
+        def run(cache_links):
+            sim = Simulator(seed=3)
+            medium = _medium(sim, cache_links=cache_links)
+            tx = Radio("tx", medium, DOT11B, Position(0, 0, 0))
+            for i in range(4):
+                SpyRadio(f"rx{i}", medium, DOT11B, Position(10.0 + i, 0, 0))
+            arrivals.clear()
+            for _ in range(5):
+                tx.transmit(b"payload", 800, MODE)
+                sim.run(until=sim.now + 0.01)
+            return list(arrivals)
+
+        assert run(True) == run(False)
+
+
+class TestActiveListGc:
+    def test_active_list_growth_is_bounded(self, sim):
+        """The opportunistic GC moved off the per-transmit hot path; the
+        amortized sweep must still keep ``_active`` from growing without
+        bound."""
+        medium, tx, _rxs = _cell(sim)
+        bound = Medium.GC_STRIDE + 8
+        for _ in range(6 * Medium.GC_STRIDE):
+            tx.transmit(b"x", 800, MODE)
+            sim.run(until=sim.now + 0.05)  # frame fully ends
+            assert len(medium._active[tx.channel_id]) <= bound
+        # Nothing on the air at the end: the public view is empty and
+        # prunes the backing list entirely.
+        assert medium.active_transmissions(tx.channel_id) == []
+        assert medium._active[tx.channel_id] == []
+
+    def test_public_view_still_prunes_on_read(self, sim):
+        medium, tx, _rxs = _cell(sim)
+        tx.transmit(b"x", 80000, MODE)
+        assert len(medium.active_transmissions(tx.channel_id)) == 1
+        sim.run(until=1.0)
+        assert medium.active_transmissions(tx.channel_id) == []

@@ -1,0 +1,152 @@
+"""Tests for the opt-in relaxed-math fast mode.
+
+Fast mode (``Medium(..., exact=False)`` or ``Simulator(profile="fast")``)
+keeps protocol semantics — frames are delivered, CCA edges fire, capture
+works, seeded runs are deterministic — while relaxing ulp-compatibility
+with the exact path.  These tests pin the switch plumbing, the
+semantics, the determinism, and the sanity envelope of its stats
+against exact mode.
+"""
+
+import pathlib
+import sys
+
+import pytest
+
+from repro.core import Position, Simulator
+from repro.core.engine import Simulator as KernelSimulator
+from repro.core.errors import SimulationError
+from repro.phy.channel import Medium
+from repro.phy.propagation import FixedLoss, LogDistance
+from repro.phy.standards import DOT11B
+from repro.phy.transceiver import PhyListener, Radio
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[2]
+                       / "benchmarks"))
+
+from perf.macro import dcf_saturation  # noqa: E402
+
+MODE = DOT11B.modes[0]
+
+
+class Collector(PhyListener):
+    def __init__(self):
+        self.received = []
+        self.busy_edges = 0
+        self.idle_edges = 0
+
+    def phy_rx_end(self, payload, success, snr_db, mode):
+        self.received.append((payload, success))
+
+    def phy_cca_busy(self):
+        self.busy_edges += 1
+
+    def phy_cca_idle(self):
+        self.idle_edges += 1
+
+
+class TestSwitchPlumbing:
+    def test_default_is_exact(self, sim):
+        assert Medium(sim, FixedLoss(50.0)).exact is True
+
+    def test_constructor_opt_in(self, sim):
+        assert Medium(sim, FixedLoss(50.0), exact=False).exact is False
+
+    def test_simulator_profile_opt_in(self):
+        sim = Simulator(seed=1, profile="fast")
+        assert Medium(sim, FixedLoss(50.0)).exact is False
+
+    def test_explicit_exact_overrides_profile(self):
+        sim = Simulator(seed=1, profile="fast")
+        assert Medium(sim, FixedLoss(50.0), exact=True).exact is True
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator(seed=1, profile="warp")
+
+    def test_fast_medium_binds_fast_arrival_slots(self, sim):
+        medium = Medium(sim, FixedLoss(50.0), exact=False)
+        radio = Radio("r", medium, DOT11B, Position(0, 0, 0))
+        members = medium._channel_members(radio.channel_id)
+        assert members[0][1].__func__ is Radio.arrival_begins_fast
+        assert members[0][2].__func__ is Radio.arrival_ends_fast
+
+
+class TestFastSemantics:
+    def _pair(self, exact):
+        sim = Simulator(seed=7)
+        medium = Medium(sim, LogDistance(DOT11B.band_hz, exponent=3.0),
+                        exact=exact)
+        tx = Radio("tx", medium, DOT11B, Position(0, 0, 0))
+        rx = Radio("rx", medium, DOT11B, Position(20, 0, 0))
+        listener = Collector()
+        rx.listener = listener
+        return sim, tx, rx, listener
+
+    def test_frame_delivery(self):
+        sim, tx, rx, listener = self._pair(exact=False)
+        tx.transmit("hello", 800, MODE)
+        sim.run(until=0.1)
+        assert listener.received == [("hello", True)]
+
+    def test_cca_edges_fire(self):
+        sim, tx, rx, listener = self._pair(exact=False)
+        tx.transmit("x", 8000, MODE)
+        sim.run(until=0.5)
+        assert listener.busy_edges == 1
+        assert listener.idle_edges == 1
+        assert not rx.cca_busy()
+
+    def test_capture_still_works(self):
+        sim = Simulator(seed=7)
+        medium = Medium(sim, LogDistance(2.4e9, exponent=3.0), exact=False)
+        weak = Radio("weak", medium, DOT11B, Position(200, 0, 0))
+        strong = Radio("strong", medium, DOT11B, Position(2, 0, 0))
+        rx = Radio("rx", medium, DOT11B, Position(0, 0, 0))
+        listener = Collector()
+        rx.listener = listener
+        sim.schedule(0.0, lambda: weak.transmit("weak", 8000, MODE))
+        sim.schedule(0.0005, lambda: strong.transmit("strong", 8000, MODE))
+        sim.run(until=0.5)
+        assert ("strong", True) in listener.received
+
+    def test_out_of_range_not_delivered(self):
+        sim = Simulator(seed=7)
+        medium = Medium(sim, LogDistance(DOT11B.band_hz, exponent=4.0),
+                        exact=False)
+        tx = Radio("tx", medium, DOT11B, Position(0, 0, 0))
+        rx = Radio("rx", medium, DOT11B, Position(10_000, 0, 0))
+        listener = Collector()
+        rx.listener = listener
+        tx.transmit("x", 800, MODE)
+        sim.run(until=0.1)
+        assert listener.received == []
+
+
+class TestFastModeMacroSanity:
+    """The seeded-stats sanity gate: fast-mode outcomes are documented
+    as bit-INcompatible with exact mode, but delivery and collision
+    figures must stay in the same physical regime (this is also what
+    the CI fast-mode smoke job runs at reduced scale)."""
+
+    SCALE = 0.25
+
+    def test_deterministic_for_a_seed(self):
+        first = dcf_saturation(self.SCALE, exact=False)
+        second = dcf_saturation(self.SCALE, exact=False)
+        assert first["stats"] == second["stats"]
+        assert first["work"] == second["work"]
+
+    def test_stats_stay_plausible_versus_exact(self):
+        exact = dcf_saturation(self.SCALE, exact=True)["stats"]
+        fast = dcf_saturation(self.SCALE, exact=False)["stats"]
+        assert fast["rx_frames"] > 0
+        assert fast["rx_bytes"] == 800 * fast["rx_frames"]
+        # Same physical regime: saturation throughput within +/-20% of
+        # the exact-mode figure at this scale.
+        ratio = fast["rx_frames"] / exact["rx_frames"]
+        assert 0.8 <= ratio <= 1.2, (exact, fast)
+        # Kernel event counts stay comparable too (fast mode removes no
+        # events; only float decisions are relaxed).
+        events_ratio = fast["events"] / exact["events"]
+        assert 0.8 <= events_ratio <= 1.2

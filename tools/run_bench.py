@@ -10,6 +10,11 @@ Usage::
     # Subset / tuning:
     PYTHONPATH=src python tools/run_bench.py --only dcf_saturation --repeat 7
 
+    # Embed a cProfile top-10 (cumulative) per scenario in the BENCH
+    # JSON, from one extra untimed run, so perf PRs can cite where the
+    # remaining time goes:
+    PYTHONPATH=src python tools/run_bench.py --profile
+
     # CI regression gate: reduced scale, compares work/sec against the
     # committed baseline, exits non-zero on a >25% regression.
     PYTHONPATH=src python tools/run_bench.py --check
@@ -39,14 +44,16 @@ run-to-run variance; the workload's own allocations dominate either way.
 from __future__ import annotations
 
 import argparse
+import cProfile
 import gc
 import json
 import pathlib
 import platform
+import pstats
 import statistics
 import sys
 import time
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 BASELINE_PATH = REPO_ROOT / "benchmarks" / "perf" / "baseline.json"
@@ -61,7 +68,40 @@ sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 from perf.macro import MACROS  # noqa: E402
 
 
-def time_scenario(name: str, scale: float, repeats: int) -> Dict[str, Any]:
+def profile_scenario(name: str, scale: float,
+                     top: int = 10) -> List[Dict[str, Any]]:
+    """cProfile one extra (untimed) run; return the ``top`` functions by
+    cumulative time.
+
+    Embedded in the BENCH record so a perf PR can cite *where* the time
+    went, not just how much of it there was.  The profiled run is
+    separate from the timed repeats — profiling overhead (3-4x on this
+    workload) must never pollute the wall figures.
+    """
+    scenario = MACROS[name]
+    profiler = cProfile.Profile()
+    profiler.enable()
+    scenario(scale)
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    rows: List[Dict[str, Any]] = []
+    repo_prefix = str(REPO_ROOT) + "/"
+    for func in stats.fcn_list[:top]:  # (file, line, name), sorted
+        cc, ncalls, tottime, cumtime, _callers = stats.stats[func]
+        filename, line, func_name = func
+        rows.append({
+            "function": f"{filename.replace(repo_prefix, '')}:{line}"
+                        f"({func_name})",
+            "calls": ncalls,
+            "tottime_s": round(tottime, 4),
+            "cumtime_s": round(cumtime, 4),
+        })
+    return rows
+
+
+def time_scenario(name: str, scale: float, repeats: int,
+                  profile: bool = False) -> Dict[str, Any]:
     """Run one macro-scenario ``repeats`` times; return its bench record."""
     scenario = MACROS[name]
     walls = []
@@ -85,7 +125,7 @@ def time_scenario(name: str, scale: float, repeats: int) -> Dict[str, Any]:
                 f"{name}: non-deterministic stats across repeats: "
                 f"{first_stats} vs {result['stats']}")
     wall = statistics.median(walls)
-    return {
+    record = {
         "name": name,
         "scale": scale,
         "repeats": repeats,
@@ -100,6 +140,9 @@ def time_scenario(name: str, scale: float, repeats: int) -> Dict[str, Any]:
         "work_per_sec_best": round(result["work"] / min(walls), 1),
         "stats": result["stats"],
     }
+    if profile:
+        record["profile_top10_cumulative"] = profile_scenario(name, scale)
+    return record
 
 
 def write_bench_json(record: Dict[str, Any], out_dir: pathlib.Path) -> pathlib.Path:
@@ -108,9 +151,10 @@ def write_bench_json(record: Dict[str, Any], out_dir: pathlib.Path) -> pathlib.P
     return path
 
 
-def run_full(names, scale: float, repeats: int, out_dir: pathlib.Path) -> int:
+def run_full(names, scale: float, repeats: int, out_dir: pathlib.Path,
+             profile: bool = False) -> int:
     for name in names:
-        record = time_scenario(name, scale, repeats)
+        record = time_scenario(name, scale, repeats, profile=profile)
         path = write_bench_json(record, out_dir)
         print(f"{name:20s} {record['wall_s']:8.3f}s "
               f"{record['work_per_sec']:>12,.0f} {record['work_unit']}/s"
@@ -211,6 +255,10 @@ def main(argv=None) -> int:
                              "is reported (default 5)")
     parser.add_argument("--out-dir", type=pathlib.Path, default=REPO_ROOT,
                         help="where BENCH_*.json files go (default: repo root)")
+    parser.add_argument("--profile", action="store_true",
+                        help="cProfile one extra (untimed) run per scenario "
+                             "and embed the top-10 cumulative functions in "
+                             "the emitted BENCH_*.json")
     parser.add_argument("--check", action="store_true",
                         help="reduced-scale regression gate vs the committed "
                              "baseline (exit 1 on >25%% regression)")
@@ -231,7 +279,8 @@ def main(argv=None) -> int:
                      f"available: {sorted(MACROS)}")
     if args.check:
         return run_check(names, max(args.repeat, 3), args.update_baseline)
-    return run_full(names, args.scale, args.repeat, args.out_dir)
+    return run_full(names, args.scale, args.repeat, args.out_dir,
+                    profile=args.profile)
 
 
 if __name__ == "__main__":
