@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro.adversary.emitters import PeriodicJammer
 from repro.core import Position, Simulator
 from repro.core.trace import TraceLog
 from repro.mac.addresses import allocate_address, reset_allocator
@@ -211,6 +212,110 @@ def multi_bss(scale: float = 1.0, *, seed: int = 23,
             "events": sim.events_executed,
         },
     }
+
+
+def interference_field(scale: float = 1.0, *, seed: int = 29,
+                       exact: bool = True) -> Dict[str, Any]:
+    """A saturated BSS drowning in 26 overlapping energy emitters.
+
+    The dense interference-field macro the ROADMAP called for: 20
+    saturated stations (the `dcf_saturation` cell) plus a field of
+    duty-cycled energy emitters whose pulse phases are staggered so
+    many bursts genuinely overlap at every receiver:
+
+    * 20 *weak* emitters (below the preamble floor, above the
+      reception floor) — pure arrival-table depth: at any instant ~7
+      of them are on the air, so every exact-mode CCA edge re-sums an
+      8-deep table while fast mode's O(1) accumulator does one add.
+      This is the regime where the PR-4 fast mode was predicted to
+      win, and the first committed macro that measures it.
+    * 4 *strong* emitters (above the CCA threshold) — airtime thieves:
+      the DCF freezes during their bursts, so contention re-anchoring
+      churns on top of the deep table.
+    * 2 *corruptors* (strong enough to matter in SINR) — their bursts
+      overlap in-flight receptions and corrupt frames, exercising the
+      interference-refresh path under depth.
+
+    Delivery is therefore well below `dcf_saturation`'s — by design;
+    the seeded stats pin the exact degradation.
+    """
+    reset_allocator()
+    sim = _perf_simulator(seed)
+    medium = Medium(sim, FixedLoss(50.0), exact=exact)
+    config = DcfConfig()
+    factory = fixed_rate_factory("CCK-11")
+    receiver_radio = Radio("rx", medium, DOT11B, Position(0, 0, 0))
+    receiver = DcfMac(sim, receiver_radio, allocate_address(), config=config,
+                      rate_factory=factory)
+    counter = _Count()
+    receiver.listener = counter
+    payload = bytes(800)
+    macs = []
+    for index in range(20):
+        radio = Radio(f"tx{index}", medium, DOT11B,
+                      Position(1.0 + index * 0.1, 0, 0))
+        mac = DcfMac(sim, radio, allocate_address(), config=config,
+                     rate_factory=factory)
+        refill = _Refill(mac, receiver.address, payload)
+        mac.listener = refill
+        refill.prime()
+        macs.append(mac)
+    # With FixedLoss(50) every emitter arrives at power_dbm - 50 at
+    # every victim.  DOT11B's noise floor is ~-93.6 dBm, CCA -82 dBm,
+    # reception floor -110 dBm; the three emitter tiers sit at
+    # -96 dBm (energy only), -75 dBm (CCA busy) and -40 dBm (SINR).
+    emitters = []
+    for index in range(20):
+        emitters.append(PeriodicJammer(
+            sim, medium, Position(30.0 + index, 30.0, 0),
+            power_dbm=-46.0, on_time=500e-6, period=1500e-6,
+            offset=1500e-6 * index / 20.0, name=f"weak{index}"))
+    for index in range(4):
+        emitters.append(PeriodicJammer(
+            sim, medium, Position(-30.0 - index, 30.0, 0),
+            power_dbm=-25.0, on_time=500e-6, period=8e-3,
+            offset=8e-3 * index / 4.0, name=f"strong{index}"))
+    for index in range(2):
+        emitters.append(PeriodicJammer(
+            sim, medium, Position(-30.0 - index, -30.0, 0),
+            power_dbm=10.0, on_time=200e-6, period=5e-3,
+            offset=5e-3 * (0.5 + index) / 2.0, name=f"corrupt{index}"))
+    for emitter in emitters:
+        emitter.start()
+    horizon = 0.4 + 1.0 * scale
+    sim.run(until=horizon)
+    return {
+        "work": sim.events_executed,
+        "work_unit": "events",
+        "sim_seconds": horizon,
+        "stats": {
+            "rx_bytes": counter.bytes,
+            "rx_frames": counter.frames,
+            "events": sim.events_executed,
+            "bursts": sum(emitter.counters.get("bursts")
+                          for emitter in emitters),
+            "rx_corrupt": receiver.counters.get("rx_corrupt"),
+            "ack_timeouts": sum(mac.counters.get("ack_timeouts")
+                                for mac in macs),
+            "fanout_plan_hits": medium.plan_hits,
+            "fanout_plan_misses": medium.plan_misses,
+        },
+    }
+
+
+def interference_field_fast(scale: float = 1.0, *, seed: int = 29
+                            ) -> Dict[str, Any]:
+    """`interference_field` in the relaxed-ulp fast mode (exact=False).
+
+    The workload fast mode exists for: with an ~8-deep arrival table at
+    every radio, the exact path's provably-exact short-circuits never
+    apply and every energy edge pays an O(depth) re-sum that the
+    accumulator replaces with O(1).  Committed side-by-side so the
+    BENCH trajectory shows the exact-vs-fast gap in its winning regime
+    (stats seed-deterministic, bit-incompatible with exact — see
+    PERFORMANCE.md).
+    """
+    return interference_field(scale, seed=seed, exact=False)
 
 
 def hidden_terminal(scale: float = 1.0, *, seed: int = 11) -> Dict[str, Any]:
@@ -425,6 +530,8 @@ MACROS: Dict[str, Callable[..., Dict[str, Any]]] = {
     "dcf_saturation_100_fast": dcf_saturation_100_fast,
     "multi_bss": multi_bss,
     "hidden_terminal": hidden_terminal,
+    "interference_field": interference_field,
+    "interference_field_fast": interference_field_fast,
     "mesh_backhaul": mesh_backhaul,
     "roaming_ess": roaming_ess,
     "wep_audit": wep_audit,

@@ -16,12 +16,12 @@ Quickstart::
 
 The subpackages follow the layering described in DESIGN.md:
 ``core`` (kernel) -> ``phy`` -> ``mac`` -> ``net``, with technology
-families (``wpan``, ``wman``, ``wwan``), ``security``, ``traffic``,
-``mobility``, ``analysis`` and ``scenarios`` alongside.
+families (``wpan``, ``wman``, ``wwan``), ``security``, ``adversary``,
+``traffic``, ``mobility``, ``analysis`` and ``scenarios`` alongside.
 """
 
-from . import analysis, core, mac, mobility, net, phy, routing, scenarios
-from . import security, traffic, wman, wpan, wwan
+from . import adversary, analysis, core, mac, mobility, net, phy, routing
+from . import scenarios, security, traffic, wman, wpan, wwan
 from .core import Simulator
 
 __version__ = "1.0.0"
@@ -29,6 +29,7 @@ __version__ = "1.0.0"
 __all__ = [
     "Simulator",
     "__version__",
+    "adversary",
     "analysis",
     "core",
     "mac",

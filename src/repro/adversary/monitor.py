@@ -1,0 +1,258 @@
+"""Monitor mode: promiscuous capture without ever keying the radio.
+
+A :class:`MonitorRadio` is the simulator's equivalent of an interface
+in monitor mode under a packet sniffer: a receive-only radio that
+records **every** frame it can decode on its channel — regardless of
+addressing — into a :class:`CaptureLog`, never ACKing, never
+transmitting, never associating.  Optionally it also records frames the
+error model corrupted (the ``ok=False`` rows a real capture shows as
+bad-FCS frames).
+
+The capture log is the observation surface the security layer audits:
+:meth:`CaptureLog.weak_iv_samples` turns captured WEP-protected bodies
+into the :class:`~repro.security.wep.WeakIvSample` stream
+:class:`~repro.security.wep.FmsAttack` consumes, and
+:meth:`CaptureLog.to_jsonl` serializes deterministically so seeded
+captures can be byte-compared (the CI determinism step).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, List, Optional
+
+from ..core.engine import Simulator
+from ..core.stats import Counter
+from ..core.topology import Position
+from ..mac.frames import Dot11Frame, FrameType
+from ..phy.channel import Medium
+from ..phy.interference import CaptureModel
+from ..phy.standards import PhyMode, PhyStandard
+from ..phy.transceiver import Radio, RadioConfig
+from ..security.wep import WeakIvSample, WEP_OVERHEAD, first_keystream_byte
+
+#: Hook fired for every captured record (live analysis taps).
+CaptureHook = Callable[["CaptureRecord"], None]
+
+
+@dataclass(frozen=True)
+class CaptureRecord:
+    """One captured frame, flattened to plain fields for serialization."""
+
+    time: float
+    channel: int
+    ok: bool
+    snr_db: float
+    type: int
+    subtype: int
+    duration_us: int
+    addr1: str
+    addr2: Optional[str]
+    addr3: Optional[str]
+    sequence: int
+    fragment: int
+    retry: bool
+    protected: bool
+    size_bytes: int
+    #: Frame body, retained only when the log keeps bodies (the
+    #: security-audit feed needs WEP bodies; bulk captures may not).
+    body: Optional[bytes] = None
+
+    def to_json(self) -> str:
+        """One deterministic JSON line (times repr-exact, body hex)."""
+        payload = {
+            "time": repr(self.time),
+            "channel": self.channel,
+            "ok": self.ok,
+            "snr_db": repr(self.snr_db),
+            "type": self.type,
+            "subtype": self.subtype,
+            "duration_us": self.duration_us,
+            "addr1": self.addr1,
+            "addr2": self.addr2,
+            "addr3": self.addr3,
+            "seq": self.sequence,
+            "frag": self.fragment,
+            "retry": self.retry,
+            "protected": self.protected,
+            "size": self.size_bytes,
+        }
+        if self.body is not None:
+            payload["body"] = self.body.hex()
+        return json.dumps(payload, sort_keys=True)
+
+
+class CaptureLog:
+    """An append-only capture with filters and deterministic dumps."""
+
+    def __init__(self, keep_bodies: bool = True,
+                 capacity: Optional[int] = None):
+        self.keep_bodies = keep_bodies
+        self.capacity = capacity
+        self.records: List[CaptureRecord] = []
+        self.counters = Counter()
+        self.dropped = 0
+
+    def append(self, record: CaptureRecord) -> None:
+        if self.capacity is not None and len(self.records) >= self.capacity:
+            self.dropped += 1
+            return
+        self.records.append(record)
+        self.counters.incr("frames")
+        if not record.ok:
+            self.counters.incr("corrupt")
+        if record.protected:
+            self.counters.incr("protected")
+        if record.type == FrameType.MANAGEMENT:
+            self.counters.incr("management")
+        elif record.type == FrameType.CONTROL:
+            self.counters.incr("control")
+        else:
+            self.counters.incr("data")
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[CaptureRecord]:
+        return iter(self.records)
+
+    # --- filters ---------------------------------------------------------
+
+    def data_frames(self) -> List[CaptureRecord]:
+        return [r for r in self.records if r.type == FrameType.DATA]
+
+    def management_frames(self) -> List[CaptureRecord]:
+        return [r for r in self.records if r.type == FrameType.MANAGEMENT]
+
+    def control_frames(self) -> List[CaptureRecord]:
+        return [r for r in self.records if r.type == FrameType.CONTROL]
+
+    def from_transmitter(self, address: str) -> List[CaptureRecord]:
+        return [r for r in self.records if r.addr2 == address]
+
+    # --- security-audit feed ---------------------------------------------
+
+    def protected_bodies(self) -> List[bytes]:
+        """Bodies of successfully captured protected (WEP bit) frames."""
+        return [r.body for r in self.records
+                if r.ok and r.protected and r.body is not None]
+
+    def weak_iv_samples(self) -> List[WeakIvSample]:
+        """FMS-ready samples from the captured WEP traffic.
+
+        Exactly what a wardriving sniffer feeds
+        :class:`~repro.security.wep.FmsAttack`: the 3-byte IV in clear
+        plus the first keystream byte recovered from the known SNAP
+        plaintext.  Bodies too short to be WEP encapsulations are
+        skipped.
+        """
+        samples = []
+        for body in self.protected_bodies():
+            if len(body) < WEP_OVERHEAD:
+                continue
+            samples.append(WeakIvSample(
+                iv=body[:3],
+                first_keystream_byte=first_keystream_byte(body)))
+        return samples
+
+    # --- dumps ------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """The whole capture as deterministic JSON lines.
+
+        Seeded runs produce byte-identical dumps (repr-exact floats,
+        sorted keys), which is the contract the CI monitor-capture
+        determinism step byte-compares.
+        """
+        return "\n".join(record.to_json() for record in self.records) + "\n"
+
+    def summary(self) -> dict:
+        """Counter snapshot plus span (diagnostics / example output)."""
+        summary = dict(sorted(self.counters.as_dict().items()))
+        summary["dropped"] = self.dropped
+        if self.records:
+            summary["first"] = self.records[0].time
+            summary["last"] = self.records[-1].time
+        return summary
+
+
+class MonitorRadio:
+    """A receive-only promiscuous radio feeding a :class:`CaptureLog`.
+
+    Not a :class:`~repro.net.device.WirelessDevice`: there is no MAC,
+    so nothing is ever ACKed, NAV is never set, and the capture leaves
+    the victim network's contention behavior untouched except for the
+    two arrival events per frame every attached co-channel radio costs.
+
+    Physical-layer capture is *disabled* on the monitor's radio by
+    default: a capturing receiver abandons a locked frame for a
+    stronger late arrival without ever upcalling it, which would make
+    exactly the frames a jammer stomps vanish from the log instead of
+    showing up as the ``ok=False`` bad-FCS rows a sniffer reports.
+    Pass an explicit ``radio_config`` to opt back into capture.
+    """
+
+    def __init__(self, sim: Simulator, medium: Medium,
+                 standard: PhyStandard, position: Position,
+                 channel_id: int = 1, name: str = "monitor",
+                 capture_corrupt: bool = False,
+                 log: Optional[CaptureLog] = None,
+                 radio_config: Optional[RadioConfig] = None):
+        self.sim = sim
+        self.name = name
+        self.capture_corrupt = capture_corrupt
+        self.log = log if log is not None else CaptureLog()
+        if radio_config is None:
+            radio_config = RadioConfig(capture=CaptureModel(enabled=False))
+        self.radio = Radio(name, medium, standard, position,
+                           channel_id=channel_id, config=radio_config)
+        self.radio.on_rx_end = self._rx_end
+        #: Optional live tap, fired after each record is logged.
+        self.on_capture: Optional[CaptureHook] = None
+
+    @property
+    def position(self) -> Position:
+        return self.radio.position
+
+    @property
+    def channel_id(self) -> int:
+        return self.radio.channel_id
+
+    def retune(self, channel_id: int) -> None:
+        """Hop to another channel (channel-surveying captures)."""
+        self.radio.channel_id = channel_id
+
+    def allow_decoding(self, standard: PhyStandard) -> None:
+        """Additionally capture another standard's modes (b/g mix)."""
+        self.radio.allow_decoding(standard)
+
+    def _rx_end(self, payload: Any, success: bool, snr_db: float,
+                mode: PhyMode) -> None:
+        if not isinstance(payload, Dot11Frame):
+            return  # foreign-PHY traffic: energy only, nothing to log
+        if not success and not self.capture_corrupt:
+            return
+        frame = payload
+        keep_body = self.log.keep_bodies and success
+        record = CaptureRecord(
+            time=self.sim.now,
+            channel=self.radio.channel_id,
+            ok=success,
+            snr_db=snr_db,
+            type=int(frame.fc.type),
+            subtype=frame.fc.subtype,
+            duration_us=frame.duration_us,
+            addr1=str(frame.addr1),
+            addr2=str(frame.addr2) if frame.addr2 is not None else None,
+            addr3=str(frame.addr3) if frame.addr3 is not None else None,
+            sequence=frame.seq.sequence,
+            fragment=frame.seq.fragment,
+            retry=frame.fc.retry,
+            protected=frame.fc.protected,
+            size_bytes=frame.wire_size_bytes(),
+            body=frame.body if keep_body else None,
+        )
+        self.log.append(record)
+        if self.on_capture is not None:
+            self.on_capture(record)

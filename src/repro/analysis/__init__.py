@@ -1,5 +1,15 @@
-"""Metrics, airtime accounting, mesh path analysis, table rendering."""
+"""Metrics, airtime, mesh paths, adversarial impact, table rendering."""
 
+from .adversary import (
+    AttackImpact,
+    aggregate_impact,
+    duty_cycle_sweep,
+    per_station_impact,
+    render_duty_curve,
+    render_impact_table,
+    render_pdr_grid,
+    spatial_pdr_grid,
+)
 from .airtime import AirtimeReport, SourceAirtime
 from .mesh import (
     aggregate_mesh_counters,
@@ -21,20 +31,28 @@ from .tables import format_value, render_series, render_table
 
 __all__ = [
     "AirtimeReport",
+    "AttackImpact",
     "SourceAirtime",
+    "aggregate_impact",
     "aggregate_mesh_counters",
     "aggregate_throughput_bps",
     "bianchi_saturation_throughput",
     "bianchi_tau",
     "connectivity_graph",
     "delay_percentiles",
+    "duty_cycle_sweep",
     "format_value",
     "jain_fairness",
     "mesh_hop_histogram",
     "path_stretch",
     "per_link_airtime",
     "per_link_load",
+    "per_station_impact",
+    "render_duty_curve",
+    "render_impact_table",
+    "render_pdr_grid",
     "render_series",
     "render_table",
     "shortest_hop_count",
+    "spatial_pdr_grid",
 ]

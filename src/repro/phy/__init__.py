@@ -1,6 +1,6 @@
 """Physical layer: propagation, modulation, standards, medium, radios."""
 
-from .channel import Medium, Transmission
+from .channel import ENERGY_ONLY, Medium, Transmission
 from .error_models import (
     BerErrorModel,
     ErrorModel,
@@ -35,6 +35,7 @@ from .transceiver import PhyListener, Radio, RadioConfig, RadioState
 
 __all__ = [
     "BerErrorModel",
+    "ENERGY_ONLY",
     "CaptureModel",
     "DOT11A",
     "DOT11AC",

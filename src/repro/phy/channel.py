@@ -39,9 +39,19 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..core.engine import Simulator
 from ..core.errors import ConfigurationError
 from ..core.units import SPEED_OF_LIGHT, dbm_to_watts, watts_to_dbm
+from .modulation import DBPSK_DSSS
 from .propagation import PropagationModel
 from .standards import PhyMode
 from .transceiver import Radio
+
+#: Mode sentinel carried by energy-only transmissions (jammers,
+#: coexistence interferers, broadband noise bursts).  The name is not in
+#: any standard's decodable set, so every receiver treats the arrival as
+#: pure energy: it drives CCA and accumulates as interference against
+#: locked receptions, but no radio ever locks onto it or upcalls a
+#: frame.  The infinite min-SNR makes ideal rate selection ignore it too.
+ENERGY_ONLY = PhyMode(name="ENERGY", data_rate_bps=1.0,
+                      modulation=DBPSK_DSSS, min_snr_db=float("inf"))
 
 
 class Transmission:
@@ -241,6 +251,21 @@ class Medium:
             self._by_channel[channel_id] = members
         return members
 
+    def invalidate_plan(self, sender: Any) -> None:
+        """Drop one sender's compiled fan-out plan.
+
+        Plans are compiled for the channel the sender occupied at
+        compile time but validated per transmit only against the
+        sender's position identity and transmit power — a *receiver*
+        retune funnels through :meth:`invalidate_channels` (which drops
+        every plan), and :class:`~repro.phy.transceiver.Radio`'s own
+        retune path does the same.  Transmit-only senders (the
+        adversary layer's energy emitters) are not attached radios, so
+        their retunes invalidate surgically through this hook instead
+        of paying a global plan flush per frequency hop.
+        """
+        self._plans.pop(sender, None)
+
     def invalidate_links(self, radio: Optional[Radio] = None) -> None:
         """Invalidate cached link budgets (all, or one radio's links).
 
@@ -412,6 +437,33 @@ class Medium:
             scheduled += 2
         sim._scheduled += scheduled
         return transmission
+
+    # --- energy-only path (adversary / coexistence emitters) ----------------
+
+    def transmit_energy(self, sender: Any, duration: float,
+                        power_watts: float, payload: Any = None
+                        ) -> Transmission:
+        """Fan out a burst of non-decodable energy.
+
+        The arrival carries power but no frame: receivers integrate it
+        into CCA and interference accounting (exact and fast mode
+        alike) but never lock onto it, because the transmission rides
+        the :data:`ENERGY_ONLY` mode whose name no radio decodes.  The
+        burst goes through :meth:`transmit` unchanged, so it composes
+        with the compiled fan-out plans, the LinkCache and the
+        per-channel receiver lists — and costs *nothing* when no
+        emitter exists, which is the exact-mode bit-identity guarantee.
+
+        ``sender`` may be a full :class:`~repro.phy.transceiver.Radio`
+        (e.g. a reactive jammer that also carrier-senses) or any
+        transmit-only object exposing ``name``, ``position``,
+        ``_position`` and ``_channel_id`` — see
+        :class:`repro.adversary.emitters.EnergySource`.  Transmit-only
+        senders must call :meth:`invalidate_plan` when they retune and
+        :meth:`invalidate_links` when they move.
+        """
+        return self.transmit(sender, payload, 0, ENERGY_ONLY, duration,
+                             power_watts)
 
     # --- link budget introspection (used by scanning / benchmarks) ----------
 

@@ -273,6 +273,42 @@ class Radio:
                          bits=size_bits, mode=mode.name)
         return duration
 
+    def transmit_energy(self, duration: float,
+                        power_watts: Optional[float] = None) -> float:
+        """Emit a burst of raw, non-decodable energy (jamming).
+
+        The burst is fanned out through
+        :meth:`~repro.phy.channel.Medium.transmit_energy`: co-channel
+        radios see it as CCA energy and interference but never lock
+        onto it.  The radio itself goes half-duplex TX for the burst —
+        it cannot carrier-sense while jamming, exactly like a frame
+        transmission — and fires :attr:`on_tx_end` when done.
+        """
+        if self.state == RadioState.TX:
+            raise SimulationError(
+                f"{self.name}: transmit_energy while already in TX")
+        if self.state == RadioState.SLEEP:
+            raise SimulationError(
+                f"{self.name}: transmit_energy while asleep")
+        if duration <= 0.0:
+            raise SimulationError(
+                f"{self.name}: energy burst needs a positive duration")
+        if self._locked is not None:
+            self._abort_locked()
+        self._state = RadioState.TX  # state setter inlined (see transmit)
+        if self.on_state_change is not None:
+            self.on_state_change(RadioState.TX.value)
+        self._update_cca()
+        self.medium.transmit_energy(
+            self, duration,
+            self.tx_power_watts if power_watts is None else power_watts)
+        self._sim.schedule_fast(duration, self._tx_complete)
+        trace = self._trace
+        if trace.enabled and trace.wants("phy-energy-start"):
+            trace.record(self._sim.now, self.name, "phy-energy-start",
+                         duration=duration)
+        return duration
+
     def _tx_complete(self) -> None:
         self._state = RadioState.IDLE  # state setter inlined (TX -> IDLE)
         if self.on_state_change is not None:

@@ -1,0 +1,104 @@
+"""Adversarial impact metrics: PDR deltas, duty curves, spatial grids."""
+
+import math
+
+import pytest
+
+from repro.analysis.adversary import (
+    AttackImpact,
+    aggregate_impact,
+    duty_cycle_sweep,
+    per_station_impact,
+    render_duty_curve,
+    render_impact_table,
+    render_pdr_grid,
+    spatial_pdr_grid,
+)
+from repro.core.topology import Position
+
+
+class TestAttackImpact:
+    def test_pdr_and_degradation(self):
+        impact = AttackImpact(baseline_offered=100, baseline_delivered=90,
+                              attacked_offered=100, attacked_delivered=45)
+        assert impact.baseline_pdr == 0.9
+        assert impact.attacked_pdr == 0.45
+        assert impact.pdr_delta == pytest.approx(0.45)
+        assert impact.degradation == pytest.approx(0.5)
+
+    def test_zero_offered_is_nan_not_crash(self):
+        impact = AttackImpact(0, 0, 0, 0)
+        assert math.isnan(impact.baseline_pdr)
+        assert math.isnan(impact.attacked_pdr)
+        assert math.isnan(impact.degradation)
+
+    def test_throughput_ratio(self):
+        impact = AttackImpact(10, 10, 10, 5)
+        assert impact.throughput_ratio(1000, 400) == 0.4
+        assert math.isnan(impact.throughput_ratio(0, 400))
+
+
+class TestPerStationImpact:
+    def test_joins_on_station_name(self):
+        baseline = {"sta0": (100, 95), "sta1": (100, 90),
+                    "only-baseline": (10, 10)}
+        attacked = {"sta0": (100, 20), "sta1": (100, 80)}
+        impacts = per_station_impact(baseline, attacked)
+        assert set(impacts) == {"sta0", "sta1"}
+        assert impacts["sta0"].attacked_delivered == 20
+
+    def test_aggregate_sums_counts(self):
+        impacts = per_station_impact(
+            {"a": (10, 10), "b": (10, 8)},
+            {"a": (10, 5), "b": (10, 1)})
+        total = aggregate_impact(impacts)
+        assert total.baseline_offered == 20
+        assert total.baseline_delivered == 18
+        assert total.attacked_delivered == 6
+        assert total.pdr_delta == pytest.approx(0.6)
+
+    def test_render_sorts_worst_first(self):
+        impacts = per_station_impact(
+            {"mild": (10, 10), "hurt": (10, 10)},
+            {"mild": (10, 9), "hurt": (10, 1)})
+        table = render_impact_table("t", impacts)
+        assert table.index("hurt") < table.index("mild")
+
+
+class TestDutyCurve:
+    def test_sweep_runs_in_order(self):
+        seen = []
+
+        def run(duty):
+            seen.append(duty)
+            return 1000.0 * (1.0 - duty)
+
+        curve = duty_cycle_sweep(run, [0.25, 0.5, 0.75])
+        assert seen == [0.25, 0.5, 0.75]
+        assert curve == [(0.25, 750.0), (0.5, 500.0), (0.75, 250.0)]
+        assert "duty" in render_duty_curve(curve)
+
+
+class TestSpatialGrid:
+    def test_bins_mean_pdr_per_cell(self):
+        grid = spatial_pdr_grid(
+            [(Position(1, 1, 0), 0.9), (Position(2, 3, 0), 0.7),
+             (Position(12, 1, 0), 0.1)], cell_m=10.0)
+        assert grid[(0, 0)] == pytest.approx(0.8)
+        assert grid[(1, 0)] == pytest.approx(0.1)
+
+    def test_negative_coordinates_bin_southwest(self):
+        grid = spatial_pdr_grid([(Position(-1, -1, 0), 0.5)], cell_m=10.0)
+        assert grid == {(-1, -1): 0.5}
+
+    def test_cell_size_validation(self):
+        with pytest.raises(ValueError):
+            spatial_pdr_grid([], cell_m=0.0)
+
+    def test_render_shows_values_and_gaps(self):
+        rendered = render_pdr_grid({(0, 0): 0.25, (2, 1): 1.0})
+        lines = rendered.splitlines()
+        assert len(lines) == 2  # rows 1 (top) and 0
+        assert "1.00" in lines[0]
+        assert "0.25" in lines[1]
+        assert render_pdr_grid({}) == "(empty grid)"

@@ -7,8 +7,11 @@ Usage::
     # Full run: median-of-5, writes BENCH_*.json to the repo root.
     PYTHONPATH=src python tools/run_bench.py
 
-    # Subset / tuning:
+    # Subset / tuning: --only filters by exact name or glob pattern, so
+    # a heavyweight macro (interference_field and its fast twin) can be
+    # iterated on without re-running the full suite:
     PYTHONPATH=src python tools/run_bench.py --only dcf_saturation --repeat 7
+    PYTHONPATH=src python tools/run_bench.py --only 'interference_field*'
 
     # Embed a cProfile top-10 (cumulative) per scenario in the BENCH
     # JSON, from one extra untimed run, so perf PRs can cite where the
@@ -45,6 +48,7 @@ from __future__ import annotations
 
 import argparse
 import cProfile
+import fnmatch
 import gc
 import json
 import pathlib
@@ -247,7 +251,8 @@ def main(argv=None) -> int:
     parser.add_argument("--list", action="store_true",
                         help="list the registered macro-scenarios and exit")
     parser.add_argument("--only", action="append", metavar="NAME",
-                        help="run only this scenario (repeatable)")
+                        help="run only this scenario (repeatable; accepts "
+                             "glob patterns, e.g. 'interference_field*')")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="workload scale factor (default 1.0)")
     parser.add_argument("--repeat", type=int, default=5,
@@ -272,11 +277,23 @@ def main(argv=None) -> int:
             summary = (MACROS[name].__doc__ or "").strip().split("\n")[0]
             print(f"{name:20s} {summary}")
         return 0
-    names = args.only if args.only else sorted(MACROS)
-    unknown = [name for name in names if name not in MACROS]
-    if unknown:
-        parser.error(f"unknown scenario(s): {unknown}; "
-                     f"available: {sorted(MACROS)}")
+    if args.only:
+        # Each --only is an exact name or a glob; order follows the
+        # command line, duplicates collapse, and a pattern matching
+        # nothing is an error (a typo must not silently run zero
+        # scenarios and report success).
+        names = []
+        unmatched = []
+        for pattern in args.only:
+            matched = sorted(fnmatch.filter(MACROS, pattern))
+            if not matched:
+                unmatched.append(pattern)
+            names.extend(name for name in matched if name not in names)
+        if unmatched:
+            parser.error(f"unknown scenario(s)/pattern(s): {unmatched}; "
+                         f"available: {sorted(MACROS)}")
+    else:
+        names = sorted(MACROS)
     if args.check:
         return run_check(names, max(args.repeat, 3), args.update_baseline)
     return run_full(names, args.scale, args.repeat, args.out_dir,
