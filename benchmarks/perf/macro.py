@@ -26,12 +26,15 @@ benchmarks, not here.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.adversary.emitters import PeriodicJammer
 from repro.core import Position, Simulator
 from repro.core.trace import TraceLog
-from repro.mac.addresses import allocate_address, reset_allocator
+from repro.faults import (ChaosMonkey, FaultLog, FaultSchedule,
+                          InvariantChecker, LinkFader)
+from repro.mac.addresses import BROADCAST, allocate_address, reset_allocator
 from repro.mac.dcf import DcfConfig, DcfMac, MacListener
 from repro.mac.rate_adapt import fixed_rate_factory
 from repro.mobility.models import LinearMobility
@@ -80,10 +83,27 @@ def _perf_simulator(seed: int) -> Simulator:
     return Simulator(seed=seed, trace=TraceLog(enabled=False))
 
 
+def _install_checker(sim: Simulator, medium: Medium,
+                     meshes: Tuple = ()) -> InvariantChecker:
+    """Strict-mode invariant sweeps for a macro run (opt-in).
+
+    Every DES macro takes ``check_invariants=True`` to run under the
+    checker; the default stays off so BENCH numbers measure the
+    production posture (the checker's periodic events would perturb
+    ``events`` counts).  The macro-invariants test sweeps all of them.
+    """
+    checker = InvariantChecker(sim, interval=0.05, strict=True)
+    checker.watch_medium(medium)
+    for nodes in meshes:
+        checker.watch_mesh(nodes)
+    return checker.install()
+
+
 def dcf_saturation(scale: float = 1.0, *, seed: int = 5,
                    stations: int = 20,
                    cache_links: bool = True,
-                   exact: bool = True) -> Dict[str, Any]:
+                   exact: bool = True,
+                   check_invariants: bool = False) -> Dict[str, Any]:
     """20 saturated stations sending 800-byte MSDUs to one receiver.
 
     The headline macro-benchmark: dominated by arrival fan-out, CCA
@@ -114,6 +134,8 @@ def dcf_saturation(scale: float = 1.0, *, seed: int = 5,
         refill = _Refill(mac, receiver.address, payload)
         mac.listener = refill
         refill.prime()
+    if check_invariants:
+        _install_checker(sim, medium)
     horizon = 0.4 + 1.0 * scale
     sim.run(until=horizon)
     return {
@@ -132,7 +154,8 @@ def dcf_saturation(scale: float = 1.0, *, seed: int = 5,
     }
 
 
-def dcf_saturation_fast(scale: float = 1.0, *, seed: int = 5) -> Dict[str, Any]:
+def dcf_saturation_fast(scale: float = 1.0, *, seed: int = 5,
+                        check_invariants: bool = False) -> Dict[str, Any]:
     """`dcf_saturation` in the relaxed-ulp fast mode (exact=False).
 
     Committed side-by-side with the exact macro so every PR's BENCH
@@ -140,16 +163,19 @@ def dcf_saturation_fast(scale: float = 1.0, *, seed: int = 5) -> Dict[str, Any]:
     pure function of the seed (the determinism gates apply), but it is
     bit-INcompatible with exact mode by design.
     """
-    return dcf_saturation(scale, seed=seed, exact=False)
+    return dcf_saturation(scale, seed=seed, exact=False,
+                          check_invariants=check_invariants)
 
 
-def dcf_saturation_100_fast(scale: float = 1.0, *, seed: int = 17
-                            ) -> Dict[str, Any]:
+def dcf_saturation_100_fast(scale: float = 1.0, *, seed: int = 17,
+                            check_invariants: bool = False) -> Dict[str, Any]:
     """`dcf_saturation_100` in the relaxed-ulp fast mode (exact=False)."""
-    return dcf_saturation(scale, seed=seed, stations=100, exact=False)
+    return dcf_saturation(scale, seed=seed, stations=100, exact=False,
+                          check_invariants=check_invariants)
 
 
-def dcf_saturation_100(scale: float = 1.0, *, seed: int = 17) -> Dict[str, Any]:
+def dcf_saturation_100(scale: float = 1.0, *, seed: int = 17,
+                       check_invariants: bool = False) -> Dict[str, Any]:
     """100 saturated stations to one receiver: the dense-contention macro.
 
     Everything that grows with N concentrates here — arrival fan-out
@@ -159,11 +185,13 @@ def dcf_saturation_100(scale: float = 1.0, *, seed: int = 17) -> Dict[str, Any]:
     scaling check: its speedup relative to the seed core should be at
     least the 20-station macro's.
     """
-    return dcf_saturation(scale, seed=seed, stations=100)
+    return dcf_saturation(scale, seed=seed, stations=100,
+                          check_invariants=check_invariants)
 
 
 def multi_bss(scale: float = 1.0, *, seed: int = 23,
-              bss_count: int = 4, stations_per_bss: int = 6) -> Dict[str, Any]:
+              bss_count: int = 4, stations_per_bss: int = 6,
+              check_invariants: bool = False) -> Dict[str, Any]:
     """Several co-located BSSes on orthogonal channels, all saturated.
 
     Exercises per-channel medium isolation: the fan-out must touch only
@@ -199,6 +227,8 @@ def multi_bss(scale: float = 1.0, *, seed: int = 23,
             refill = _Refill(mac, receiver.address, payload)
             mac.listener = refill
             refill.prime()
+    if check_invariants:
+        _install_checker(sim, medium)
     horizon = 0.4 + 1.0 * scale
     sim.run(until=horizon)
     return {
@@ -215,7 +245,8 @@ def multi_bss(scale: float = 1.0, *, seed: int = 23,
 
 
 def interference_field(scale: float = 1.0, *, seed: int = 29,
-                       exact: bool = True) -> Dict[str, Any]:
+                       exact: bool = True,
+                       check_invariants: bool = False) -> Dict[str, Any]:
     """A saturated BSS drowning in 26 overlapping energy emitters.
 
     The dense interference-field macro the ROADMAP called for: 20
@@ -282,6 +313,8 @@ def interference_field(scale: float = 1.0, *, seed: int = 29,
             offset=5e-3 * (0.5 + index) / 2.0, name=f"corrupt{index}"))
     for emitter in emitters:
         emitter.start()
+    if check_invariants:
+        _install_checker(sim, medium)
     horizon = 0.4 + 1.0 * scale
     sim.run(until=horizon)
     return {
@@ -303,8 +336,8 @@ def interference_field(scale: float = 1.0, *, seed: int = 29,
     }
 
 
-def interference_field_fast(scale: float = 1.0, *, seed: int = 29
-                            ) -> Dict[str, Any]:
+def interference_field_fast(scale: float = 1.0, *, seed: int = 29,
+                            check_invariants: bool = False) -> Dict[str, Any]:
     """`interference_field` in the relaxed-ulp fast mode (exact=False).
 
     The workload fast mode exists for: with an ~8-deep arrival table at
@@ -315,10 +348,12 @@ def interference_field_fast(scale: float = 1.0, *, seed: int = 29
     (stats seed-deterministic, bit-incompatible with exact — see
     PERFORMANCE.md).
     """
-    return interference_field(scale, seed=seed, exact=False)
+    return interference_field(scale, seed=seed, exact=False,
+                              check_invariants=check_invariants)
 
 
-def hidden_terminal(scale: float = 1.0, *, seed: int = 11) -> Dict[str, Any]:
+def hidden_terminal(scale: float = 1.0, *, seed: int = 11,
+                    check_invariants: bool = False) -> Dict[str, Any]:
     """Two mutually hidden saturated senders with RTS/CTS enabled.
 
     Exercises the collision/RTS reservation machinery and the disc
@@ -345,6 +380,8 @@ def hidden_terminal(scale: float = 1.0, *, seed: int = 11) -> Dict[str, Any]:
             lambda msdu, ok, _m=mac: _m.send(destination, payload))
         for _ in range(4):
             mac.send(destination, payload)
+    if check_invariants:
+        _install_checker(sim, scenario.medium)
     horizon = 2.0 * scale
     sim.run(until=horizon)
     return {
@@ -359,7 +396,8 @@ def hidden_terminal(scale: float = 1.0, *, seed: int = 11) -> Dict[str, Any]:
     }
 
 
-def roaming_ess(scale: float = 1.0, *, seed: int = 7) -> Dict[str, Any]:
+def roaming_ess(scale: float = 1.0, *, seed: int = 7,
+                check_invariants: bool = False) -> Dict[str, Any]:
     """A station walks a 3-AP corridor with a downlink CBR flow.
 
     Exercises scanning/association, the DS location table, mobility
@@ -386,6 +424,8 @@ def roaming_ess(scale: float = 1.0, *, seed: int = 7) -> Dict[str, Any]:
         packet_bytes=800, interval=0.02)
     LinearMobility(sim, walker, Position(170, 0, 0), speed_mps=8.0,
                    tick=0.1).start()
+    if check_invariants:
+        _install_checker(sim, corridor.medium)
     horizon = sim.now + 20.0 * scale
     sim.run(until=horizon)
     return {
@@ -400,7 +440,8 @@ def roaming_ess(scale: float = 1.0, *, seed: int = 7) -> Dict[str, Any]:
     }
 
 
-def mesh_backhaul(scale: float = 1.0, *, seed: int = 31) -> Dict[str, Any]:
+def mesh_backhaul(scale: float = 1.0, *, seed: int = 31,
+                  check_invariants: bool = False) -> Dict[str, Any]:
     """Multi-hop mesh relaying: the routing-layer macro.
 
     Three sub-scenarios, events summed:
@@ -430,6 +471,8 @@ def mesh_backhaul(scale: float = 1.0, *, seed: int = 31) -> Dict[str, Any]:
     static_source = CbrSource(
         sim, chain.nodes[0].sender(chain.nodes[7].address),
         packet_bytes=200, interval=0.01)
+    if check_invariants:
+        _install_checker(sim, chain.medium, meshes=(chain.nodes,))
     static_horizon = 0.4 + 1.0 * scale
     sim.run(until=static_horizon)
     static_events = sim.events_executed
@@ -445,6 +488,8 @@ def mesh_backhaul(scale: float = 1.0, *, seed: int = 31) -> Dict[str, Any]:
     dsdv_source = CbrSource(
         sim, dsdv_chain.nodes[0].sender(dsdv_chain.nodes[7].address),
         packet_bytes=200, interval=0.02)
+    if check_invariants:
+        _install_checker(sim, dsdv_chain.medium, meshes=(dsdv_chain.nodes,))
     dsdv_horizon = 1.0 + 1.0 * scale
     sim.run(until=dsdv_horizon)
     dsdv_events = sim.events_executed
@@ -472,6 +517,8 @@ def mesh_backhaul(scale: float = 1.0, *, seed: int = 31) -> Dict[str, Any]:
         pre_break.append(grid_sink.total_received)
 
     sim.schedule_at(break_at, _break_active_relay)
+    if check_invariants:
+        _install_checker(sim, grid.medium, meshes=(grid.nodes,))
     grid_horizon = break_at + 0.8 + 1.2 * scale
     sim.run(until=grid_horizon)
     grid_events = sim.events_executed
@@ -497,6 +544,149 @@ def mesh_backhaul(scale: float = 1.0, *, seed: int = 31) -> Dict[str, Any]:
             "grid_routes_broken": broken,
             "events": static_events + dsdv_events + grid_events,
         },
+    }
+
+
+def fault_storm(scale: float = 1.0, *, seed: int = 37,
+                check_invariants: bool = False) -> Dict[str, Any]:
+    """Crash/restart + fade storm over a BSS and a DSDV mesh.
+
+    The resilience macro: both halves take a seeded beating mid-run and
+    must *recover* — post-storm delivery rate is compared against the
+    pre-fault steady state and committed as the ``pdr_recovery`` stat
+    (the acceptance bar is >= 0.9).  Two sub-scenarios, events summed:
+
+    * an infrastructure **BSS** with six uplink CBR stations: one
+      station crashes and reboots (exercising AP-side stale-station
+      reaping), then the AP itself crashes for 300 ms — every station
+      rides beacon loss into rescans with backoff, then reassociates
+      when the AP reboots,
+    * a 3x3 **DSDV grid** under a :class:`~repro.faults.ChaosMonkey`
+      crash/restart storm across all seven relays, plus a 120 dB fade
+      dropped on the center relay and a queue-pressure flood at the
+      source — the mesh must reconverge and traffic resume once the
+      storm lifts.
+
+    Every fault fires through the :mod:`repro.faults` machinery into a
+    shared :class:`~repro.faults.FaultLog`; its canonical JSONL trace
+    is returned (``fault_trace``, not part of the BENCH record) and its
+    SHA-1 is committed in the stats, so the determinism gates pin the
+    *entire* fault timeline, not just the outcome counts.
+    """
+    # --- BSS half: station + AP crash/restart under uplink CBR -------------
+    reset_allocator()
+    sim = _perf_simulator(seed)
+    bss = scenarios.build_infrastructure_bss(sim, station_count=6)
+    log = FaultLog()
+    sink = TrafficSink(sim)
+    bss.ap.on_receive(sink)
+    bss.ap.start_reaping(idle_timeout=0.25, interval=0.1)
+    ap_address = bss.ap.address
+    for station in bss.stations:
+        def _uplink(payload: bytes, _station: Station = station) -> bool:
+            # Guarded sender: an unassociated station (crashed, or its
+            # AP is down) rejects the offer instead of raising.
+            if not _station.associated:
+                return False
+            return _station.send(ap_address, payload)
+        CbrSource(sim, _uplink, packet_bytes=200, interval=0.02, start=0.2)
+    schedule = FaultSchedule(sim, log=log)
+    schedule.crash(bss.stations[0], at=0.6, down_for=0.5)
+    schedule.crash(bss.ap, at=1.0, down_for=0.3)
+    schedule.install()
+    marks: Dict[str, int] = {}
+
+    def _mark_bss(key: str) -> None:
+        marks[key] = sink.total_received
+
+    sim.schedule_at(0.3, _mark_bss, "bss_pre_lo")
+    sim.schedule_at(0.6, _mark_bss, "bss_pre_hi")
+    sim.schedule_at(2.0, _mark_bss, "bss_post_lo")
+    if check_invariants:
+        _install_checker(sim, bss.medium)
+    bss_horizon = 2.0 + 1.0 * scale
+    sim.run(until=bss_horizon)
+    bss_events = sim.events_executed
+    bss_pre_rate = (marks["bss_pre_hi"] - marks["bss_pre_lo"]) / 0.3
+    bss_post_rate = (sink.total_received - marks["bss_post_lo"]) \
+        / (1.0 * scale)
+    reassociations = sum(s.sta_counters.get("associations")
+                         for s in bss.stations)
+
+    # --- mesh half: chaos-monkey storm + fade over a DSDV grid -------------
+    reset_allocator()
+    sim = _perf_simulator(seed + 1)
+    grid = scenarios.build_mesh_network(
+        sim, scenarios.grid_topology(3, 3, 30.0), DsdvRouting, range_m=40.0)
+    grid.start_routing()
+    mesh_sink = TrafficSink(sim)
+    grid.nodes[8].on_receive(mesh_sink)
+    mesh_source = CbrSource(
+        sim, grid.nodes[0].sender(grid.nodes[8].address),
+        packet_bytes=200, interval=0.02, start=0.3)
+    fader = LinkFader(grid.medium)
+    monkey = ChaosMonkey(sim, targets=grid.nodes[1:8],
+                         mean_interval=0.12, mean_downtime=0.2,
+                         name="grid", log=log)
+    schedule = FaultSchedule(sim, name="mesh-faults", log=log)
+    schedule.fade(fader, grid.nodes[4].station.position, 120.0,
+                  at=0.9, duration=0.4, target=grid.nodes[4].station.name)
+    # Broadcast junk: drains at one (unacknowledged) transmission per
+    # frame, so the flood's damage is contention + drops, not a queue
+    # wedged for seconds behind retry-limited unicasts to a dead peer.
+    schedule.queue_pressure(grid.nodes[0].station.mac, at=1.0, fill=1.0,
+                            destination=BROADCAST)
+    schedule.install()
+    sim.schedule_at(0.8, monkey.start)
+
+    def _end_storm() -> None:
+        monkey.stop()
+        monkey.restore_all()
+
+    sim.schedule_at(1.6, _end_storm)
+
+    def _mark_mesh(key: str) -> None:
+        marks[key] = mesh_sink.total_received
+
+    sim.schedule_at(0.5, _mark_mesh, "mesh_pre_lo")
+    sim.schedule_at(0.8, _mark_mesh, "mesh_pre_hi")
+    sim.schedule_at(2.2, _mark_mesh, "mesh_post_lo")
+    if check_invariants:
+        _install_checker(sim, grid.medium, meshes=(grid.nodes,))
+    mesh_horizon = 2.2 + 1.0 * scale
+    sim.run(until=mesh_horizon)
+    mesh_events = sim.events_executed
+    mesh_pre_rate = (marks["mesh_pre_hi"] - marks["mesh_pre_lo"]) / 0.3
+    mesh_post_rate = (mesh_sink.total_received - marks["mesh_post_lo"]) \
+        / (1.0 * scale)
+
+    trace = log.to_jsonl()
+    return {
+        "work": bss_events + mesh_events,
+        "work_unit": "events",
+        "sim_seconds": bss_horizon + mesh_horizon,
+        "stats": {
+            "bss_pre_rate": bss_pre_rate,
+            "bss_post_rate": bss_post_rate,
+            "bss_reassociations": reassociations,
+            "ap_reaped": bss.ap.ap_counters.get("removed_stale"),
+            "mesh_pre_rate": mesh_pre_rate,
+            "mesh_post_rate": mesh_post_rate,
+            "mesh_strikes": monkey.counters.get("strikes"),
+            "mesh_restores": monkey.counters.get("restores"),
+            "mesh_routes_broken": sum(node.counters.get("routes_broken")
+                                      for node in grid.nodes),
+            "pdr_recovery": min(
+                bss_post_rate / bss_pre_rate if bss_pre_rate else 0.0,
+                mesh_post_rate / mesh_pre_rate if mesh_pre_rate else 0.0),
+            "faults_injected": len(log),
+            "trace_sha1": hashlib.sha1(trace.encode()).hexdigest(),
+            "events": bss_events + mesh_events,
+        },
+        # Full canonical fault timeline; time_scenario ignores extra
+        # keys, so this never lands in BENCH records — the determinism
+        # tests byte-compare it across seeded runs.
+        "fault_trace": trace,
     }
 
 
@@ -534,5 +724,6 @@ MACROS: Dict[str, Callable[..., Dict[str, Any]]] = {
     "interference_field_fast": interference_field_fast,
     "mesh_backhaul": mesh_backhaul,
     "roaming_ess": roaming_ess,
+    "fault_storm": fault_storm,
     "wep_audit": wep_audit,
 }

@@ -27,11 +27,19 @@ from .metrics import (
     delay_percentiles,
     jain_fairness,
 )
+from .resilience import (
+    ReassociationProbe,
+    pdr_timeline,
+    recovery_time,
+    route_repair_time,
+    steady_state_pdr,
+)
 from .tables import format_value, render_series, render_table
 
 __all__ = [
     "AirtimeReport",
     "AttackImpact",
+    "ReassociationProbe",
     "SourceAirtime",
     "aggregate_impact",
     "aggregate_mesh_counters",
@@ -45,14 +53,18 @@ __all__ = [
     "jain_fairness",
     "mesh_hop_histogram",
     "path_stretch",
+    "pdr_timeline",
     "per_link_airtime",
     "per_link_load",
     "per_station_impact",
+    "recovery_time",
     "render_duty_curve",
     "render_impact_table",
     "render_pdr_grid",
     "render_series",
     "render_table",
+    "route_repair_time",
     "shortest_hop_count",
     "spatial_pdr_grid",
+    "steady_state_pdr",
 ]

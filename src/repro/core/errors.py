@@ -25,6 +25,28 @@ class SchedulingError(SimulationError):
     """An event was scheduled in the past or on a stopped simulator."""
 
 
+class AssociationTimeoutError(SimulationError):
+    """Stations failed to associate within the allotted simulated time.
+
+    Raised by :func:`repro.scenarios.associate_all`; the message names
+    every stuck station with its FSM state, and :attr:`stations` carries
+    the station objects for programmatic inspection.
+    """
+
+    def __init__(self, message: str, stations=()):
+        super().__init__(message)
+        self.stations = list(stations)
+
+
+class InvariantViolation(SimulationError):
+    """A strict-mode runtime invariant check failed.
+
+    Raised by :class:`repro.faults.InvariantChecker` when ``strict`` is
+    set; carries the human-readable description of the violated
+    invariant in the message.
+    """
+
+
 class ProtocolError(ReproError):
     """A protocol entity received input it cannot process."""
 

@@ -1,0 +1,38 @@
+"""Deterministic fault injection and strict-mode invariant checking.
+
+The subsystem splits into three parts:
+
+* :mod:`~repro.faults.injectors` — the mechanisms: link fades layered
+  over any propagation model (:class:`LinkFader`), queue-pressure
+  floods (:func:`inject_queue_pressure`).  Crash/restart lives on the
+  components themselves (``Station.crash``, ``AccessPoint.crash``,
+  ``MeshNode.crash``).
+* :mod:`~repro.faults.schedule` — the policies: a declarative seeded
+  timeline (:class:`FaultSchedule`) and a randomized storm generator
+  (:class:`ChaosMonkey`), both logging every fired fault to a
+  byte-comparable :class:`FaultLog`.
+* :mod:`~repro.faults.invariants` — the safety net: an opt-in
+  :class:`InvariantChecker` that audits kernel, MAC, PHY and routing
+  state from inside the event loop.
+
+Everything is seeded-deterministic: injector timing comes from
+dedicated named RNG streams, so adding a fault schedule never perturbs
+MAC backoff, PHY error, or routing jitter draws.
+"""
+
+from .injectors import DegradedPropagation, LinkFader, inject_queue_pressure
+from .invariants import InvariantChecker, NAV_MAX_LEGAL, Violation
+from .schedule import ChaosMonkey, FaultLog, FaultRecord, FaultSchedule
+
+__all__ = [
+    "ChaosMonkey",
+    "DegradedPropagation",
+    "FaultLog",
+    "FaultRecord",
+    "FaultSchedule",
+    "InvariantChecker",
+    "LinkFader",
+    "NAV_MAX_LEGAL",
+    "Violation",
+    "inject_queue_pressure",
+]

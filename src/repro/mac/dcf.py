@@ -269,6 +269,30 @@ class DcfMac:
         """No MSDU in flight and nothing queued."""
         return self._current is None and self.queue.empty
 
+    def crash(self) -> None:
+        """Fault injection: drop all MAC state as a power loss would.
+
+        Cancels every contention/response timer, clears the NAV, and
+        discards the in-flight MSDU and the interface queue *silently*
+        — a crashed node notifies nobody, so no ``mac_tx_complete``
+        upcalls fire for the discarded frames.  The radio is left
+        untouched; callers power it off separately (see
+        :mod:`repro.faults.injectors`).
+        """
+        self._ifs.cancel()
+        self._countdown.cancel()
+        self._response.cancel()
+        self._pending_send.cancel()
+        self.nav.clear()
+        self._awaiting = None
+        self._tx_continuation = None
+        self._current = None
+        self._backoff_remaining = None
+        self._use_eifs = False
+        self.backoff.reset()
+        self.queue.clear()
+        self.counters.incr("crashes")
+
     # --------------------------------------------------------------- queueing
 
     def _enqueue(self, msdu: Msdu, front: bool = False) -> bool:

@@ -88,6 +88,10 @@ class AccessPoint(WirelessDevice):
         self._ps_buffers: Dict[MacAddress,
                                Deque[Tuple[MacAddress, bytes, bool]]] = {}
         self.ps_buffer_limit = 64
+        #: Stale-station reaping (off until start_reaping is called).
+        self._reap_task: Optional[PeriodicTask] = None
+        self._reap_idle_timeout: Optional[float] = None
+        self._reap_interval: Optional[float] = None
 
     # --- BSS identity ------------------------------------------------------------
 
@@ -146,6 +150,46 @@ class AccessPoint(WirelessDevice):
         self.ap_counters.incr("beacons")
         self.mac.send_management(ManagementSubtype.BEACON, BROADCAST,
                                  self._beacon_body())
+
+    # --- stale-station reaping -------------------------------------------------
+
+    def start_reaping(self, idle_timeout: float = 2.0,
+                      interval: Optional[float] = None) -> None:
+        """Periodically drop stations not heard from in ``idle_timeout``.
+
+        A station that crashed (or walked out of range without
+        disassociating) otherwise stays in :attr:`associations` forever,
+        holding an AID, a dedup history and possibly a power-save buffer.
+        Checks run every ``interval`` seconds (default: half the
+        timeout).  Survives :meth:`restart` once enabled.
+        """
+        if self._reap_task is not None:
+            return
+        self._reap_idle_timeout = idle_timeout
+        self._reap_interval = interval if interval is not None \
+            else idle_timeout / 2.0
+        self._reap_task = PeriodicTask(self.sim, self._reap_interval,
+                                       self._reap_stale)
+
+    def stop_reaping(self) -> None:
+        """Disable stale-station reaping (and forget its configuration)."""
+        if self._reap_task is not None:
+            self._reap_task.cancel()
+            self._reap_task = None
+        self._reap_idle_timeout = None
+        self._reap_interval = None
+
+    def _reap_stale(self) -> None:
+        now = self.sim.now
+        timeout = self._reap_idle_timeout
+        if timeout is None:
+            return
+        stale = [address for address, record in self.associations.items()
+                 if now - max(record.last_seen, record.associated_at) > timeout]
+        for address in stale:
+            self._ps_buffers.pop(address, None)
+            self.mac.dedup.forget(address)
+            self._remove_station(address, "stale")
 
     # --- management handling ------------------------------------------------------
 
@@ -268,8 +312,16 @@ class AccessPoint(WirelessDevice):
                 self.deliver_up(source, payload, meta)
             return
         if source not in self.associations:
+            # Class-3 frame from a station we hold no association for.
+            # Answer with a Deauthentication (IEEE 802.11 class-3 rule):
+            # a station carrying stale association state — typically
+            # because *we* crashed and rebooted underneath it — learns
+            # immediately to re-enter the state machine instead of
+            # feeding a void until beacon-loss timers notice.
             self.ap_counters.incr("unassociated_data")
-            return  # class-3 frame from an unassociated station
+            self.mac.send_management(ManagementSubtype.DEAUTHENTICATION,
+                                     source, b"")
+            return
         self.associations[source].last_seen = self.sim.now
         protected = bool(meta.get("protected"))
         if destination == self.address:
@@ -366,3 +418,40 @@ class AccessPoint(WirelessDevice):
             raise ProtocolError(f"{destination} is not associated with {self.name}")
         self._send_from_ds(self.address, destination, payload, protected)
         return True
+
+    # --- fault injection ---------------------------------------------------------
+
+    def crash(self) -> None:
+        """Power loss: the whole BSS state evaporates, radio off.
+
+        Beaconing stops, the association table, AID space and power-save
+        buffers are dropped (the DS is told each station left, so ESS
+        forwarding stops routing through us), and the MAC and radio are
+        torn down.  Stations discover the outage through beacon loss —
+        a crashed AP sends no disassociation frames.
+        """
+        self.ap_counters.incr("crashes")
+        self.stop_beaconing()
+        if self._reap_task is not None:
+            self._reap_task.cancel()
+            self._reap_task = None  # re-armed by restart(); config kept
+        stations = list(self.associations)
+        self.associations.clear()
+        self._ps_buffers.clear()
+        self._next_aid = 1
+        if self.ds is not None:
+            for station in stations:
+                self.ds.station_left(station, self)
+        self.mac.crash()
+        self.radio.power_off()
+
+    def restart(self, beacon_offset: Optional[float] = None) -> None:
+        """Boot after :meth:`crash`: radio on, beaconing resumed (with a
+        fresh empty association table), reaping re-armed if it had been
+        configured before the crash."""
+        self.ap_counters.incr("restarts")
+        self.radio.power_on()
+        self.start_beaconing(offset=beacon_offset)
+        if self._reap_idle_timeout is not None and self._reap_task is None:
+            self._reap_task = PeriodicTask(self.sim, self._reap_interval,
+                                           self._reap_stale)

@@ -61,6 +61,14 @@ class Station(WirelessDevice):
     #: Management exchange timeout and retry budget.
     MGMT_TIMEOUT = 20e-3
     MGMT_RETRIES = 4
+    #: Empty-scan retry backoff: the first retry comes after exactly
+    #: RESCAN_BASE (no RNG draw — the common single-miss case stays
+    #: bit-identical to historical runs); consecutive misses then
+    #: double the delay up to RESCAN_CAP with +/-50% jitter drawn from
+    #: the station's dedicated ``sta.<name>`` stream, so a cell full of
+    #: orphaned stations does not rescan in lockstep forever.
+    RESCAN_BASE = 0.2
+    RESCAN_CAP = 5.0
 
     def __init__(self, *args: Any, adhoc: bool = False,
                  ibss_bssid: Optional[MacAddress] = None,
@@ -102,6 +110,12 @@ class Station(WirelessDevice):
         self._scan_channels: List[int] = []
         self._scan_dwell = 0.0
         self._scan_active = False
+        #: Consecutive empty scans (drives the rescan backoff).
+        self._scan_failures = 0
+        #: Give up scanning (-> IDLE) after this many consecutive empty
+        #: scans; ``None`` retries forever (historical behaviour).
+        self.max_scan_failures: Optional[int] = None
+        self._rescan_rng = None  # lazily bound `sta.<name>` jitter stream
         self._last_roam = -1e9
         self._link_monitor: Optional[PeriodicTask] = None
         self._last_beacon_from_serving = 0.0
@@ -281,10 +295,28 @@ class Station(WirelessDevice):
         assert self.target_ssid is not None
         best = self.tracker.best(self.target_ssid)
         if best is None:
-            # Nothing heard: retry the scan after a beat.
+            # Nothing heard: retry after a beat, backing off on
+            # consecutive misses (see RESCAN_BASE/RESCAN_CAP).
             self.sta_counters.incr("scan_empty")
-            self._rescan_timer.schedule(0.2)
+            self._scan_failures += 1
+            if self.max_scan_failures is not None and \
+                    self._scan_failures >= self.max_scan_failures:
+                # Scan timeout: the network is gone (dead AP, wrong
+                # channel list).  Go IDLE instead of rescanning forever
+                # — the caller decides whether/when to try again.
+                self.sta_counters.incr("scan_abandoned")
+                self.state = StationState.IDLE
+                return
+            delay = self.RESCAN_BASE
+            if self._scan_failures > 1:
+                if self._rescan_rng is None:
+                    self._rescan_rng = self.sim.rng.stream(f"sta.{self.name}")
+                delay = min(self.RESCAN_BASE * 2.0 ** (self._scan_failures - 1),
+                            self.RESCAN_CAP)
+                delay *= 0.5 + self._rescan_rng.random()
+            self._rescan_timer.schedule(delay)
             return
+        self._scan_failures = 0
         self._begin_authentication(best)
 
     def _retry_scan(self) -> None:
@@ -485,4 +517,55 @@ class Station(WirelessDevice):
         for hook in self._disassoc_hooks:
             hook()
         if self.target_ssid is not None:
+            self.start_scan(self.target_ssid, dwell=self._scan_dwell or 0.15)
+
+    # --- fault injection ---------------------------------------------------------
+
+    def crash(self) -> None:
+        """Power loss: all volatile state dropped, radio off.
+
+        Everything RAM-resident goes — the connection state machine,
+        beacon observations, pending management retries, the MAC's
+        queue and timers — and the radio powers off mid-whatever (an
+        in-flight transmission is torn down, in-flight arrivals keep
+        draining).  Disassociation hooks fire if we were associated, so
+        traffic sources wired to them stop offering.  The configured
+        ``target_ssid`` survives (it is configuration, not state) and
+        drives the rescan on :meth:`restart`.
+        """
+        self.sta_counters.incr("crashes")
+        was_associated = self.associated
+        self._cancel_mgmt_timer()
+        self._scan_timer.cancel()
+        self._rescan_timer.cancel()
+        self._cancel_ps_timers()
+        if self._link_monitor is not None:
+            self._link_monitor.cancel()
+            self._link_monitor = None
+        self.state = StationState.IDLE
+        self.serving_ap = None
+        self._target_bssid = None
+        self._mgmt_retry = None
+        self._mgmt_attempts = 0
+        self._scan_channels = []
+        self._scan_failures = 0
+        self.aid = None
+        self.power_save = False
+        self._ps_retrieving = False
+        self.tracker = BeaconTracker()
+        self.mac.crash()
+        self.mac.power_management = False
+        if not self.adhoc:
+            self.mac.bssid = self.address
+        self.radio.power_off()
+        if was_associated:
+            for hook in tuple(self._disassoc_hooks):
+                hook()
+
+    def restart(self) -> None:
+        """Boot after :meth:`crash`: power the radio on and, when an
+        infrastructure SSID is configured, rescan for it."""
+        self.sta_counters.incr("restarts")
+        self.radio.power_on()
+        if not self.adhoc and self.target_ssid is not None:
             self.start_scan(self.target_ssid, dwell=self._scan_dwell or 0.15)

@@ -231,6 +231,27 @@ class Medium:
         self._by_channel.clear()
         self._plans.clear()
 
+    def detach(self, radio: Radio) -> None:
+        """Unregister a radio (teardown, or permanent crash).
+
+        Drops the radio from every fan-out surface: the per-channel
+        receiver lists, the compiled plans (*any* sender's plan may
+        carry this receiver's pre-resolved upcalls and receive power,
+        so the plans are cleared wholesale, not per sender), its own
+        plan, and its :class:`LinkCache` entries.  Arrival edges already
+        in the heap still fire at the detached radio — in-flight energy
+        drains normally; it simply receives no *new* transmissions.  A
+        detached radio may be re-attached later with :meth:`attach`.
+        """
+        try:
+            self._radios.remove(radio)
+        except ValueError:
+            raise ConfigurationError(
+                f"radio {radio.name} is not attached") from None
+        self._by_channel.clear()
+        self._plans.clear()
+        self.links.invalidate(radio)
+
     def invalidate_channels(self) -> None:
         """Drop the per-channel radio lists (a radio retuned)."""
         self._by_channel.clear()

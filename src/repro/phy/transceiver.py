@@ -93,7 +93,7 @@ class Radio:
                  "_locked_tracker", "_cca_busy", "_sim", "_rng", "_trace",
                  "_rx_timer", "_capture", "_snr_cache", "_exact",
                  "_tracker", "_incident_watts", "_edges_since_rebase",
-                 "_preamble_floor_watts", "_capture_ratio")
+                 "_preamble_floor_watts", "_capture_ratio", "_tx_epoch")
 
     def __init__(self, name: str, medium: "Medium", standard: PhyStandard,
                  position: Position, channel_id: int = 1,
@@ -156,6 +156,7 @@ class Radio:
         # decision thresholds fast mode uses in place of the dB math.
         self._exact = medium.exact
         self._incident_watts = 0.0
+        self._tx_epoch = 0
         self._edges_since_rebase = 0
         self._preamble_floor_watts = self._noise_watts * \
             10.0 ** (self.config.preamble_detection_snr_db / 10.0)
@@ -266,7 +267,7 @@ class Radio:
         duration = self.standard.frame_airtime(size_bits, mode)
         self.medium.transmit(self, payload, size_bits, mode, duration,
                              self.tx_power_watts)
-        self._sim.schedule_fast(duration, self._tx_complete)
+        self._sim.schedule_fast(duration, self._tx_complete, self._tx_epoch)
         trace = self._trace
         if trace.enabled and trace.wants("phy-tx-start"):
             trace.record(self._sim.now, self.name, "phy-tx-start",
@@ -302,14 +303,19 @@ class Radio:
         self.medium.transmit_energy(
             self, duration,
             self.tx_power_watts if power_watts is None else power_watts)
-        self._sim.schedule_fast(duration, self._tx_complete)
+        self._sim.schedule_fast(duration, self._tx_complete, self._tx_epoch)
         trace = self._trace
         if trace.enabled and trace.wants("phy-energy-start"):
             trace.record(self._sim.now, self.name, "phy-energy-start",
                          duration=duration)
         return duration
 
-    def _tx_complete(self) -> None:
+    def _tx_complete(self, epoch: int = 0) -> None:
+        if epoch != self._tx_epoch:
+            # A power_off() mid-burst already tore the transmission down;
+            # this is the stale completion event draining out of the heap
+            # (schedule_fast events cannot be cancelled, only outlived).
+            return
         self._state = RadioState.IDLE  # state setter inlined (TX -> IDLE)
         if self.on_state_change is not None:
             self.on_state_change(RadioState.IDLE.value)
@@ -336,6 +342,34 @@ class Radio:
             # busy/idle *transition*, and idle->idle is no transition.
             if not self._cca_busy:
                 self.on_cca_idle()
+
+    # --- fault injection ----------------------------------------------------
+
+    def power_off(self) -> None:
+        """Hard power loss (fault injection): unlike :meth:`sleep`, legal
+        mid-transmission.
+
+        A burst that already left the antenna keeps propagating — its
+        arrival edges are in the heap and drain at every receiver on
+        their own — but our TX-complete upcall is suppressed by bumping
+        the TX epoch (``schedule_fast`` events cannot be cancelled), and
+        any locked reception is aborted.  Arrivals keep being *tracked*
+        while powered off exactly as in SLEEP: the table must stay
+        consistent so in-flight energy drains and a later
+        :meth:`power_on` resumes carrier sense from truthful state.
+        """
+        if self._state is RadioState.TX:
+            self._tx_epoch += 1
+        if self._locked is not None:
+            self._abort_locked()
+        self.state = RadioState.SLEEP
+        trace = self._trace
+        if trace.enabled and trace.wants("phy-power-off"):
+            trace.record(self._sim.now, self.name, "phy-power-off")
+
+    def power_on(self) -> None:
+        """Boot after :meth:`power_off` (delegates to :meth:`wake`)."""
+        self.wake()
 
     # --- receive path (called by the Medium) --------------------------------
 

@@ -102,6 +102,25 @@ class DsdvRouting(RoutingProtocol):
         if self._triggered is not None:
             self._triggered.cancel()
 
+    def restart(self) -> None:
+        """Rejoin the mesh after a crash: cleared table, fresh even seq.
+
+        The crashed node's routing table is RAM and is gone, but its own
+        sequence number must keep monotonically out-running whatever the
+        mesh still holds for us — including odd "broken" sequences a
+        transit node advertised during the outage.  The protocol object
+        survives the crash, so the retained counter is bumped by 2
+        (staying even, per the paper's destination-sequencing rule) —
+        the DSDV equivalent of stable storage.  Should neighbors still
+        out-advertise us, :meth:`on_control`'s broken-route self-defense
+        bumps past them on first contact.  The first announce is
+        jitter-delayed by :meth:`start` exactly like a cold boot.
+        """
+        self._table.clear()
+        self._sequence += 2
+        self._last_update_tx = -math.inf
+        self.start()
+
     # --- table queries -----------------------------------------------------
 
     def next_hop(self, destination: MacAddress) -> Optional[MacAddress]:

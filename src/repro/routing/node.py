@@ -314,6 +314,31 @@ class MeshNode:
         self.counters.incr("requeued_after_failure")
         self._route_or_queue(rerouted, body, count_miss=False)
 
+    # --- fault injection ---------------------------------------------------
+
+    def crash(self) -> None:
+        """Power loss: forwarding state gone, protocol stopped, radio off.
+
+        Pending route-miss queues and the origin-level duplicate history
+        are RAM and are dropped; counters and the hop log survive (they
+        are the experimenter's measurements, not the node's state).  The
+        underlying station crash tears down the MAC and radio.
+        """
+        self.counters.incr("crashes")
+        self.protocol.stop()
+        self._pending.clear()
+        if self._dedup is not None:
+            self._dedup = DuplicateCache(
+                history_per_sender=self.config.dedup_history)
+        self.station.crash()
+
+    def restart(self) -> None:
+        """Boot after :meth:`crash`: radio on, protocol rejoins (DSDV
+        re-announces with a fresh even sequence; static tables persist)."""
+        self.counters.incr("restarts")
+        self.station.restart()
+        self.protocol.restart()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<MeshNode {self.name} {self.address} "
                 f"proto={self.protocol.name}>")

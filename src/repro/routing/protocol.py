@@ -57,6 +57,17 @@ class RoutingProtocol:
     def stop(self) -> None:
         """Halt protocol timers."""
 
+    def restart(self) -> None:
+        """Resume after a node crash (fault injection).
+
+        The default just re-runs :meth:`start`: a protocol whose tables
+        are scenario-installed configuration (static routes live in
+        "flash", not RAM) keeps them across a crash.  Protocols with
+        learned state override this to clear it and rejoin — see
+        :meth:`repro.routing.dsdv.DsdvRouting.restart`.
+        """
+        self.start()
+
     def next_hop(self, destination: MacAddress) -> Optional[MacAddress]:
         """The neighbor to hand a packet for ``destination`` to, or None."""
         return None

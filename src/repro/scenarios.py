@@ -13,7 +13,8 @@ from typing import Callable, List, Optional
 
 from .adversary.emitters import Emitter, PeriodicJammer
 from .core.engine import Simulator
-from .core.errors import ConfigurationError, SimulationError
+from .core.errors import AssociationTimeoutError, ConfigurationError, \
+    SimulationError
 from .core.topology import ORIGIN, Position, circle_layout, grid_layout, \
     line_layout
 from .mac.dcf import DcfConfig
@@ -77,11 +78,17 @@ def associate_all(sim: Simulator, stations: List[Station],
     finally:
         for unsubscribe in unsubscribes:
             unsubscribe()
-    missing = [station.name for station in stations
-               if not station.associated]
-    if missing:
-        raise SimulationError(
-            f"stations failed to associate within {timeout}s: {missing}")
+    stuck = [station for station in stations if not station.associated]
+    if stuck:
+        # Name the stragglers *and* their FSM states: "stuck in
+        # scanning" (AP down / wrong channel) reads very differently
+        # from "stuck in associating" (AP up but not answering), and
+        # that difference is the first thing a failed run needs to say.
+        detail = ", ".join(f"{station.name} ({station.state.value})"
+                           for station in stuck)
+        raise AssociationTimeoutError(
+            f"{len(stuck)} of {len(stations)} stations failed to "
+            f"associate within {timeout}s: {detail}", stations=stuck)
 
 
 def build_infrastructure_bss(sim: Simulator, station_count: int,

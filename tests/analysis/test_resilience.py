@@ -1,0 +1,116 @@
+"""Resilience metrics: PDR timelines, recovery time, reassociation."""
+
+import math
+
+import pytest
+
+from repro import scenarios
+from repro.analysis.resilience import (
+    ReassociationProbe,
+    pdr_timeline,
+    recovery_time,
+    route_repair_time,
+    steady_state_pdr,
+)
+
+
+class TestPdrTimeline:
+    def test_perfect_delivery_is_flat_one(self):
+        offered = [0.05, 0.15, 0.25, 0.35]
+        timeline = pdr_timeline(offered, offered, bin_width=0.1)
+        assert [pdr for _, pdr in timeline] == [1.0] * 4
+        assert [start for start, _ in timeline] == \
+            pytest.approx([0.0, 0.1, 0.2, 0.3])
+
+    def test_outage_bin_reads_zero(self):
+        offered = [0.05, 0.15, 0.25]
+        delivered = [0.05, 0.25]
+        timeline = pdr_timeline(offered, delivered, bin_width=0.1)
+        assert [pdr for _, pdr in timeline] == [1.0, 0.0, 1.0]
+
+    def test_empty_offer_bin_is_nan_not_zero(self):
+        timeline = pdr_timeline([0.05, 0.25], [0.05, 0.25],
+                                bin_width=0.1)
+        assert math.isnan(timeline[1][1])
+
+    def test_backlog_flush_can_exceed_one(self):
+        # Two deliveries land in a bin with one offer: the flush after
+        # an outage.  Documented behaviour — PDR > 1 in that bin.
+        timeline = pdr_timeline([0.05, 0.15], [0.15, 0.18],
+                                bin_width=0.1)
+        assert timeline[1][1] == 2.0
+
+    def test_horizon_pads_trailing_bins(self):
+        timeline = pdr_timeline([0.05], [0.05], bin_width=0.1,
+                                horizon=0.5)
+        assert len(timeline) == 5
+        assert all(math.isnan(pdr) for _, pdr in timeline[1:])
+
+
+class TestSteadyStateAndRecovery:
+    def _timeline(self):
+        # 1.0 until the fault at t=0.5, dip, then climb back.
+        return [(0.0, 1.0), (0.1, 1.0), (0.2, 1.0), (0.3, 1.0),
+                (0.4, 1.0), (0.5, 0.2), (0.6, 0.0), (0.7, 0.5),
+                (0.8, 0.95), (0.9, 1.0), (1.0, 1.0)]
+
+    def test_steady_state_mean_skips_nan(self):
+        timeline = [(0.0, 1.0), (0.1, float("nan")), (0.2, 0.5)]
+        assert steady_state_pdr(timeline, 0.0, 0.3) == pytest.approx(0.75)
+
+    def test_recovery_is_first_sustained_bin(self):
+        timeline = self._timeline()
+        baseline = steady_state_pdr(timeline, 0.0, 0.5)
+        assert baseline == pytest.approx(1.0)
+        # First sustained bin is 0.8; the metric is a duration from
+        # the fault, so 0.8 - 0.5.
+        assert recovery_time(timeline, fault_at=0.5,
+                             baseline_pdr=baseline) == pytest.approx(0.3)
+
+    def test_unsustained_spike_does_not_count(self):
+        timeline = [(0.0, 1.0), (0.1, 0.0), (0.2, 1.0), (0.3, 0.1),
+                    (0.4, 1.0), (0.5, 1.0)]
+        # The 0.2 spike dips again at 0.3: recovery only holds from the
+        # 0.4 bin, i.e. 0.3 after the fault.
+        assert recovery_time(timeline, fault_at=0.1,
+                             baseline_pdr=1.0) == pytest.approx(0.3)
+
+    def test_never_recovering_returns_none(self):
+        timeline = [(0.0, 1.0), (0.1, 0.1), (0.2, 0.2)]
+        assert recovery_time(timeline, fault_at=0.1,
+                             baseline_pdr=1.0) is None
+
+    def test_route_repair_time(self):
+        delivered = [0.1, 0.2, 0.9, 1.0]
+        assert route_repair_time(delivered, fault_at=0.5) == \
+            pytest.approx(0.4)
+        assert route_repair_time([0.1], fault_at=0.5) is None
+
+
+class TestReassociationProbe:
+    def test_crash_restart_cycle_is_measured(self, sim):
+        bss = scenarios.build_infrastructure_bss(sim, station_count=1)
+        station = bss.stations[0]
+        probe = ReassociationProbe(sim, station)
+        crash_at = sim.now + 0.1
+        sim.schedule_at(crash_at, station.crash)
+        sim.schedule_at(crash_at + 0.2, station.restart)
+        sim.run(until=crash_at + 5.0)
+        assert station.associated
+        assert probe.reassociations == 1
+        outage = probe.time_to_reassociate(after=crash_at)
+        assert outage is not None
+        assert 0.2 < outage < 5.0
+        spans = probe.outage_spans()
+        assert len(spans) == 1
+        begin, end = spans[0]
+        assert begin == pytest.approx(crash_at)
+        assert end - begin == pytest.approx(outage)
+
+    def test_no_outage_no_spans(self, sim):
+        bss = scenarios.build_infrastructure_bss(sim, station_count=1)
+        probe = ReassociationProbe(sim, bss.stations[0])
+        sim.run(until=sim.now + 1.0)
+        assert probe.reassociations == 0
+        assert probe.outage_spans() == []
+        assert probe.time_to_reassociate(after=0.0) is None

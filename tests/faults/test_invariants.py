@@ -1,0 +1,206 @@
+"""The strict-mode InvariantChecker: clean runs stay silent, forged
+state trips the exact check that guards it."""
+
+import heapq
+
+import pytest
+
+from repro import scenarios
+from repro.core import Position, Simulator
+from repro.core.errors import InvariantViolation
+from repro.faults import InvariantChecker, NAV_MAX_LEGAL
+from repro.mac.addresses import allocate_address
+from repro.mac.dcf import DcfMac
+from repro.phy.channel import Medium
+from repro.phy.propagation import FixedLoss
+from repro.phy.standards import DOT11B
+from repro.phy.transceiver import Radio
+from repro.routing import RouteEntry
+
+
+def _mac(sim, exact=False):
+    medium = Medium(sim, FixedLoss(50.0), exact=exact)
+    radio = Radio("r0", medium, DOT11B, Position(0, 0, 0))
+    return medium, DcfMac(sim, radio, allocate_address())
+
+
+class TestCleanRun:
+    def test_busy_bss_run_has_zero_violations(self, sim):
+        bss = scenarios.build_infrastructure_bss(sim, station_count=3)
+        from repro.traffic.generators import CbrSource
+        for station in bss.stations:
+            CbrSource(sim, lambda p, s=station: s.send(bss.ap.address, p),
+                      packet_bytes=400, interval=0.01)
+        checker = InvariantChecker(sim, interval=0.01, strict=True)
+        checker.watch_medium(bss.medium).install()
+        sim.run(until=sim.now + 1.0)
+        assert checker.violations == []
+        assert checker.checks_run >= 90
+
+    def test_stop_halts_sweeping(self, sim):
+        checker = InvariantChecker(sim, interval=0.01).install()
+        sim.run(until=0.1)
+        ran = checker.checks_run
+        assert ran > 0
+        checker.stop()
+        sim.run(until=0.5)
+        assert checker.checks_run == ran
+
+
+class TestNavCheck:
+    def test_forged_nav_raises_in_strict_mode(self, sim):
+        medium, mac = _mac(sim)
+        checker = InvariantChecker(sim, strict=True).watch_mac(mac)
+        mac.nav._until = sim.now + NAV_MAX_LEGAL + 0.001
+        with pytest.raises(InvariantViolation, match="nav-legal-duration"):
+            checker.check_now()
+
+    def test_forged_nav_accumulates_in_lenient_mode(self, sim):
+        medium, mac = _mac(sim)
+        checker = InvariantChecker(sim, strict=False).watch_mac(mac)
+        mac.nav._until = sim.now + 1.0
+        checker.check_now()
+        assert len(checker.violations) == 1
+        violation = checker.violations[0]
+        assert violation.check == "nav-legal-duration"
+        assert violation.subject == str(mac.address)
+
+    def test_maximal_legal_nav_is_fine(self, sim):
+        medium, mac = _mac(sim)
+        checker = InvariantChecker(sim, strict=True).watch_mac(mac)
+        mac.nav._until = sim.now + NAV_MAX_LEGAL
+        checker.check_now()
+        assert checker.violations == []
+
+
+class TestBackoffLeftFold:
+    def _arm(self, sim, mac, slots):
+        mac._countdown_anchor = sim.now
+        mac._countdown_remaining = slots
+        expiry = sim.now
+        for _ in range(slots):
+            expiry += mac._slot_time
+        mac._countdown.schedule_at(expiry)
+
+    def test_correct_batched_expiry_passes(self, sim):
+        medium, mac = _mac(sim)
+        checker = InvariantChecker(sim, strict=True).watch_mac(mac)
+        self._arm(sim, mac, 7)
+        checker.check_now()
+        assert checker.violations == []
+
+    def test_corrupted_anchor_is_caught(self, sim):
+        medium, mac = _mac(sim)
+        checker = InvariantChecker(sim, strict=True).watch_mac(mac)
+        self._arm(sim, mac, 7)
+        mac._countdown_anchor += 1e-7
+        with pytest.raises(InvariantViolation, match="backoff-left-fold"):
+            checker.check_now()
+
+    def test_naive_multiply_expiry_is_caught(self, sim):
+        """slots * slot_time rounds differently from the left-fold for
+        some counts; the checker must hold the exact reference."""
+        medium, mac = _mac(sim)
+        checker = InvariantChecker(sim, strict=False).watch_mac(mac)
+        found = False
+        for slots in range(1, 64):
+            mac._countdown_anchor = sim.now
+            mac._countdown_remaining = slots
+            mac._countdown.schedule_at(sim.now + slots * mac._slot_time)
+            checker.check_now()
+            if checker.violations:
+                found = True
+                break
+        assert found, "no slot count distinguishes multiply from fold"
+
+
+class TestFastAccumulators:
+    def test_negative_accumulator_is_caught(self, sim):
+        medium, mac = _mac(sim, exact=False)
+        checker = InvariantChecker(sim, strict=True).watch_medium(medium)
+        mac.radio._incident_watts = -1e-12
+        with pytest.raises(InvariantViolation,
+                           match="fast-accumulator-nonnegative"):
+            checker.check_now()
+
+    def test_stuck_accumulator_on_quiet_air_is_caught(self, sim):
+        medium, mac = _mac(sim, exact=False)
+        checker = InvariantChecker(sim, strict=True).watch_medium(medium)
+        assert not mac.radio._arrivals
+        mac.radio._incident_watts = 1e-15
+        with pytest.raises(InvariantViolation,
+                           match="fast-accumulator-zero-snap"):
+            checker.check_now()
+
+    def test_exact_mode_skips_the_accumulator_check(self, sim):
+        medium, mac = _mac(sim, exact=True)
+        checker = InvariantChecker(sim, strict=True).watch_medium(medium)
+        mac.radio._incident_watts = -1.0   # unused state in exact mode
+        checker.check_now()
+        assert checker.violations == []
+
+
+class TestKernelCheck:
+    def test_event_behind_the_clock_is_caught(self, sim):
+        sim.run(until=1.0)
+        checker = InvariantChecker(sim, strict=True)
+        heapq.heappush(sim._heap, (0.5, -1, lambda: None, ()))
+        with pytest.raises(InvariantViolation, match="heap-monotonic"):
+            checker.check_now()
+
+
+class _FakeProtocol:
+    def __init__(self, table):
+        self._table = table
+
+    def routes(self):
+        return self._table
+
+    def next_hop(self, destination):
+        entry = self._table.get(destination)
+        return entry.next_hop if entry is not None else None
+
+
+class _FakeNode:
+    def __init__(self, address, table):
+        self.address = address
+        self.protocol = _FakeProtocol(table)
+
+
+class TestLoopFree:
+    def _two_node_loop(self, updated_at):
+        a, b, dest = (allocate_address() for _ in range(3))
+        # a and b each claim the other is the way to the (absent) dest.
+        node_a = _FakeNode(a, {dest: RouteEntry(dest, b, 2,
+                                                updated_at=updated_at)})
+        node_b = _FakeNode(b, {dest: RouteEntry(dest, a, 2,
+                                                updated_at=updated_at)})
+        return [node_a, node_b]
+
+    def test_stale_mutual_loop_is_caught(self, sim):
+        sim.run(until=1.0)
+        nodes = self._two_node_loop(updated_at=0.0)
+        checker = InvariantChecker(sim, strict=True,
+                                   route_settle=0.3).watch_mesh(nodes)
+        with pytest.raises(InvariantViolation, match="routing-loop-free"):
+            checker.check_now()
+
+    def test_converging_tables_get_grace(self, sim):
+        sim.run(until=1.0)
+        nodes = self._two_node_loop(updated_at=sim.now)
+        checker = InvariantChecker(sim, strict=True,
+                                   route_settle=0.3).watch_mesh(nodes)
+        checker.check_now()
+        assert checker.violations == []
+
+    def test_loop_free_chain_passes(self, sim):
+        sim.run(until=1.0)
+        a, b, c = (allocate_address() for _ in range(3))
+        nodes = [
+            _FakeNode(a, {c: RouteEntry(c, b, 2, updated_at=0.0)}),
+            _FakeNode(b, {c: RouteEntry(c, c, 1, updated_at=0.0)}),
+            _FakeNode(c, {}),
+        ]
+        checker = InvariantChecker(sim, strict=True).watch_mesh(nodes)
+        checker.check_now()
+        assert checker.violations == []

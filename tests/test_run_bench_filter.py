@@ -18,7 +18,8 @@ def select(argv):
     selected scenario names (the scenarios themselves are stubbed)."""
     captured = {}
 
-    def fake_run_full(names, scale, repeats, out_dir, profile=False):
+    def fake_run_full(names, scale, repeats, out_dir, profile=False,
+                      timeout=0.0):
         captured["names"] = list(names)
         return 0
 

@@ -1,0 +1,83 @@
+"""The perf harness's per-macro wall-clock timeout guard."""
+
+import pathlib
+import sys
+import time
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+import run_bench  # noqa: E402
+from perf import macro  # noqa: E402
+
+
+def _fast_macro(scale=1.0, **kwargs):
+    return {"work": 10, "work_unit": "events", "stats": {"x": 1}}
+
+
+def _hanging_macro(scale=1.0, **kwargs):
+    time.sleep(60)
+    return _fast_macro(scale)
+
+
+def _crashing_macro(scale=1.0, **kwargs):
+    raise RuntimeError("synthetic macro failure")
+
+
+@pytest.fixture
+def stub_macros(monkeypatch):
+    # Fork-based children inherit these monkeypatches: the guarded
+    # runner sees the same MACROS dict this process does.
+    monkeypatch.setitem(macro.MACROS, "stub_fast", _fast_macro)
+    monkeypatch.setitem(macro.MACROS, "stub_hang", _hanging_macro)
+    monkeypatch.setitem(macro.MACROS, "stub_crash", _crashing_macro)
+
+
+class TestTimeoutGuard:
+    def test_fast_macro_completes_within_timeout(self, stub_macros):
+        status, record = run_bench.time_scenario_guarded(
+            "stub_fast", 1.0, 1, timeout=30.0)
+        assert status == "ok"
+        assert record["name"] == "stub_fast"
+        assert record["stats"] == {"x": 1}
+
+    def test_hanging_macro_is_killed(self, stub_macros):
+        start = time.monotonic()
+        status, payload = run_bench.time_scenario_guarded(
+            "stub_hang", 1.0, 1, timeout=0.5)
+        assert status == "timeout"
+        assert payload is None
+        assert time.monotonic() - start < 30.0
+
+    def test_crashing_macro_reports_error(self, stub_macros):
+        status, message = run_bench.time_scenario_guarded(
+            "stub_crash", 1.0, 1, timeout=30.0)
+        assert status == "error"
+        assert "synthetic macro failure" in message
+
+    def test_zero_timeout_runs_in_process(self, stub_macros):
+        status, record = run_bench.time_scenario_guarded(
+            "stub_fast", 1.0, 1, timeout=0.0)
+        assert status == "ok"
+        assert record["stats"] == {"x": 1}
+
+
+class TestRunFullFailureRows:
+    def test_timeout_yields_failed_row_and_nonzero_exit(
+            self, stub_macros, tmp_path, capsys):
+        code = run_bench.run_full(["stub_fast", "stub_hang"], 1.0, 1,
+                                  tmp_path, timeout=0.5)
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "stub_hang" in out and "FAILED" in out
+        assert (tmp_path / "BENCH_stub_fast.json").exists()
+        assert not (tmp_path / "BENCH_stub_hang.json").exists()
+
+    def test_all_ok_exits_zero(self, stub_macros, tmp_path):
+        code = run_bench.run_full(["stub_fast"], 1.0, 1, tmp_path,
+                                  timeout=10.0)
+        assert code == 0
+        assert (tmp_path / "BENCH_stub_fast.json").exists()

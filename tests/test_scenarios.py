@@ -37,6 +37,22 @@ class TestInfrastructureBuilder:
         with pytest.raises(SimulationError, match="failed to associate"):
             scenarios.associate_all(sim, bss.stations, timeout=1.0)
 
+    def test_timeout_error_names_the_stuck_stations(self, sim):
+        from repro.core.errors import AssociationTimeoutError
+        bss = scenarios.build_infrastructure_bss(sim, station_count=2,
+                                                 associate=False)
+        bss.ap.crash()   # dead AP: everyone stays stuck scanning
+        for station in bss.stations:
+            station.associate(bss.ap.ssid)
+        with pytest.raises(AssociationTimeoutError) as excinfo:
+            scenarios.associate_all(sim, bss.stations, timeout=1.0)
+        message = str(excinfo.value)
+        assert "2 of 2 stations failed to associate" in message
+        for station in bss.stations:
+            assert station.name in message
+        assert "(scanning)" in message
+        assert excinfo.value.stations == bss.stations
+
     def test_associate_all_returns_at_association_time(self, sim):
         """Event-driven associate_all stops the instant the last station
         associates instead of stepping to the next polling boundary."""

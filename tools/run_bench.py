@@ -51,13 +51,14 @@ import cProfile
 import fnmatch
 import gc
 import json
+import multiprocessing
 import pathlib
 import platform
 import pstats
 import statistics
 import sys
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 BASELINE_PATH = REPO_ROOT / "benchmarks" / "perf" / "baseline.json"
@@ -149,6 +150,55 @@ def time_scenario(name: str, scale: float, repeats: int,
     return record
 
 
+def _child_entry(conn, name: str, scale: float, repeats: int,
+                 profile: bool) -> None:
+    """Subprocess body for the per-scenario wall-clock timeout."""
+    try:
+        record = time_scenario(name, scale, repeats, profile=profile)
+        conn.send(("ok", record))
+    except BaseException as exc:  # report, don't hang the parent
+        conn.send(("error", f"{type(exc).__name__}: {exc}"))
+    finally:
+        conn.close()
+
+
+def time_scenario_guarded(name: str, scale: float, repeats: int,
+                          profile: bool = False, timeout: float = 0.0
+                          ) -> Tuple[str, Any]:
+    """``time_scenario`` with an optional wall-clock cap.
+
+    With ``timeout`` <= 0, runs in-process exactly as before.  With a
+    timeout, the scenario runs in a forked child (fork: the child
+    shares this process's loaded MACROS, monkeypatches included) and a
+    scenario that livelocks or blows its budget is killed — yielding a
+    clean ``("timeout", None)`` instead of hanging the whole bench run.
+
+    Returns ``(status, payload)``: ``("ok", record)``,
+    ``("error", message)`` or ``("timeout", None)``.
+    """
+    if timeout <= 0:
+        return "ok", time_scenario(name, scale, repeats, profile=profile)
+    ctx = multiprocessing.get_context("fork")
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    proc = ctx.Process(target=_child_entry,
+                       args=(child_conn, name, scale, repeats, profile))
+    proc.start()
+    child_conn.close()
+    try:
+        if parent_conn.poll(timeout):
+            status, payload = parent_conn.recv()
+            proc.join()
+            return status, payload
+    except EOFError:  # child died without reporting (segfault, kill)
+        proc.join()
+        return "error", f"worker exited with code {proc.exitcode}"
+    finally:
+        parent_conn.close()
+    proc.terminate()
+    proc.join()
+    return "timeout", None
+
+
 def write_bench_json(record: Dict[str, Any], out_dir: pathlib.Path) -> pathlib.Path:
     path = out_dir / f"BENCH_{record['name']}.json"
     path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
@@ -156,13 +206,26 @@ def write_bench_json(record: Dict[str, Any], out_dir: pathlib.Path) -> pathlib.P
 
 
 def run_full(names, scale: float, repeats: int, out_dir: pathlib.Path,
-             profile: bool = False) -> int:
+             profile: bool = False, timeout: float = 0.0) -> int:
+    failures = []
     for name in names:
-        record = time_scenario(name, scale, repeats, profile=profile)
+        status, payload = time_scenario_guarded(name, scale, repeats,
+                                                profile=profile,
+                                                timeout=timeout)
+        if status != "ok":
+            reason = f"timed out after {timeout:g}s" \
+                if status == "timeout" else payload
+            print(f"{name:20s} FAILED: {reason}")
+            failures.append(name)
+            continue
+        record = payload
         path = write_bench_json(record, out_dir)
         print(f"{name:20s} {record['wall_s']:8.3f}s "
               f"{record['work_per_sec']:>12,.0f} {record['work_unit']}/s"
               f"   -> {path.name}")
+    if failures:
+        print(f"FAIL: scenario(s) did not complete: {sorted(failures)}")
+        return 1
     return 0
 
 
@@ -170,7 +233,8 @@ def _machine_fingerprint() -> str:
     return f"{platform.node()}/{platform.machine()}/py{platform.python_version()}"
 
 
-def run_check(names, repeats: int, update_baseline: bool) -> int:
+def run_check(names, repeats: int, update_baseline: bool,
+              timeout: float = 0.0) -> int:
     """Reduced-scale regression gate against the committed baseline.
 
     Throughput (work/sec) is only compared when the baseline was
@@ -192,7 +256,15 @@ def run_check(names, repeats: int, update_baseline: bool) -> int:
     failures = []
     records = {}
     for name in names:
-        record = time_scenario(name, CHECK_SCALE, repeats)
+        status, payload = time_scenario_guarded(name, CHECK_SCALE, repeats,
+                                                timeout=timeout)
+        if status != "ok":
+            reason = f"timed out after {timeout:g}s" \
+                if status == "timeout" else payload
+            print(f"{name:20s} FAILED: {reason}")
+            failures.append(name)
+            continue
+        record = payload
         records[name] = record
         reference = baseline.get(name)
         if reference is None:
@@ -264,6 +336,12 @@ def main(argv=None) -> int:
                         help="cProfile one extra (untimed) run per scenario "
                              "and embed the top-10 cumulative functions in "
                              "the emitted BENCH_*.json")
+    parser.add_argument("--timeout", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help="per-scenario wall-clock budget; a scenario "
+                             "exceeding it is killed and reported as a "
+                             "FAILED row instead of hanging the run "
+                             "(default 0 = unlimited, in-process)")
     parser.add_argument("--check", action="store_true",
                         help="reduced-scale regression gate vs the committed "
                              "baseline (exit 1 on >25%% regression)")
@@ -295,9 +373,10 @@ def main(argv=None) -> int:
     else:
         names = sorted(MACROS)
     if args.check:
-        return run_check(names, max(args.repeat, 3), args.update_baseline)
+        return run_check(names, max(args.repeat, 3), args.update_baseline,
+                         timeout=args.timeout)
     return run_full(names, args.scale, args.repeat, args.out_dir,
-                    profile=args.profile)
+                    profile=args.profile, timeout=args.timeout)
 
 
 if __name__ == "__main__":
