@@ -39,6 +39,7 @@ from repro.mac.dcf import DcfConfig, DcfMac, MacListener
 from repro.mac.rate_adapt import fixed_rate_factory
 from repro.mobility.models import LinearMobility
 from repro.net.roaming import RoamingPolicy
+from repro.parallel import run_sharded, run_single
 from repro.net.station import Station
 from repro.phy.channel import Medium
 from repro.phy.propagation import FixedLoss
@@ -713,6 +714,76 @@ def wep_audit(scale: float = 1.0, *, seed: int = 0) -> Dict[str, Any]:
 
 
 #: name -> scenario callable; the harness and the perf tests iterate this.
+def city_scale(scale: float = 1.0, *, seed: int = 41,
+               bss_count: int = 24, stations_per_bss: int = 8,
+               workers: int = 4,
+               check_invariants: bool = False) -> Dict[str, Any]:
+    """Tens of saturated BSSes on a city grid, run sharded.
+
+    The sharded-executor headline macro: 24 cells (parameterizable to
+    hundreds via ``bss_count``) with 2x2 channel reuse, partitioned
+    automatically — the grid geometry puts every co-channel pair below
+    the reception floor, so the partitioner proves full decoupling and
+    the shards run to the horizon in a single synchronization round.
+    Stats include the sharding fingerprint (shard count, rounds,
+    boundary records, arrival-log SHA-1); the full canonical arrival
+    log rides the result as an extra key for the determinism tests,
+    outside the BENCH record.  ``city_scale_1p`` is the identical
+    scenario single-process: the differential reference and the
+    speedup denominator for PERFORMANCE.md's scaling table.
+    """
+    cells = scenarios.build_city_cells(bss_count=bss_count,
+                                       stations_per_bss=stations_per_bss)
+    horizon = 0.1 + 0.4 * scale
+    result = run_sharded(cells, seed=seed, horizon=horizon,
+                         workers=workers,
+                         propagation_factory=scenarios.city_propagation,
+                         check_invariants=check_invariants)
+    per_cell = result["cells"]
+    return {
+        "work": result["events"],
+        "work_unit": "events",
+        "sim_seconds": horizon,
+        "stats": {
+            "rx_bytes": sum(c["rx_bytes"] for c in per_cell.values()),
+            "rx_frames": sum(c["rx_frames"] for c in per_cell.values()),
+            "per_bss_frames": [per_cell[name]["rx_frames"]
+                               for name in sorted(per_cell)],
+            "events": result["events"],
+            "shards": result["shards"],
+            "rounds": result["rounds"],
+            "boundary_records": result["boundary_records"],
+            "arrival_log_sha1": result["arrival_log_sha1"],
+        },
+        "arrival_log": result["arrival_log"],
+    }
+
+
+def city_scale_1p(scale: float = 1.0, *, seed: int = 41,
+                  bss_count: int = 24, stations_per_bss: int = 8,
+                  check_invariants: bool = False) -> Dict[str, Any]:
+    """The `city_scale` scenario on one kernel (differential reference)."""
+    cells = scenarios.build_city_cells(bss_count=bss_count,
+                                       stations_per_bss=stations_per_bss)
+    horizon = 0.1 + 0.4 * scale
+    result = run_single(cells, seed=seed, horizon=horizon,
+                        propagation_factory=scenarios.city_propagation,
+                        check_invariants=check_invariants)
+    per_cell = result["cells"]
+    return {
+        "work": result["events"],
+        "work_unit": "events",
+        "sim_seconds": horizon,
+        "stats": {
+            "rx_bytes": sum(c["rx_bytes"] for c in per_cell.values()),
+            "rx_frames": sum(c["rx_frames"] for c in per_cell.values()),
+            "per_bss_frames": [per_cell[name]["rx_frames"]
+                               for name in sorted(per_cell)],
+            "events": result["events"],
+        },
+    }
+
+
 MACROS: Dict[str, Callable[..., Dict[str, Any]]] = {
     "dcf_saturation": dcf_saturation,
     "dcf_saturation_fast": dcf_saturation_fast,
@@ -726,4 +797,6 @@ MACROS: Dict[str, Callable[..., Dict[str, Any]]] = {
     "roaming_ess": roaming_ess,
     "fault_storm": fault_storm,
     "wep_audit": wep_audit,
+    "city_scale": city_scale,
+    "city_scale_1p": city_scale_1p,
 }

@@ -20,8 +20,8 @@ families (``wpan``, ``wman``, ``wwan``), ``security``, ``adversary``,
 ``traffic``, ``mobility``, ``analysis`` and ``scenarios`` alongside.
 """
 
-from . import adversary, analysis, core, mac, mobility, net, phy, routing
-from . import scenarios, security, traffic, wman, wpan, wwan
+from . import adversary, analysis, core, mac, mobility, net, parallel, phy
+from . import routing, scenarios, security, traffic, wman, wpan, wwan
 from .core import Simulator
 
 __version__ = "1.0.0"
@@ -35,6 +35,7 @@ __all__ = [
     "mac",
     "mobility",
     "net",
+    "parallel",
     "phy",
     "routing",
     "scenarios",

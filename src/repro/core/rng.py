@@ -49,6 +49,54 @@ class RngRegistry:
         digest = hashlib.sha256(seed_material).digest()
         return RngRegistry(int.from_bytes(digest[:8], "big"))
 
+    def namespace(self, prefix: str) -> "RngNamespace":
+        """A view of this registry that prefixes every stream name.
+
+        Namespacing is the sharded executor's determinism primitive: a
+        component built inside namespace ``cell/<name>`` draws from
+        stream ``cell/<name>/<stream>`` regardless of which process (or
+        how many sibling components) exist around it.  Because stream
+        seeds depend only on the master seed and the full name, a cell
+        built under the same namespace produces byte-identical draws in
+        a single-process run and in any shard of any partitioning.
+        """
+        return RngNamespace(self, prefix)
+
     def stream_names(self) -> list:
         """Names of all streams created so far (sorted, for diagnostics)."""
         return sorted(self._streams)
+
+
+class RngNamespace:
+    """A prefixed view onto an :class:`RngRegistry` (see
+    :meth:`RngRegistry.namespace`).
+
+    Exposes the same ``stream``/``namespace`` surface, so consumers can
+    take either a registry or a namespace.  The underlying streams live
+    in the parent registry (one flat, collision-free name space); the
+    view itself holds no state.
+    """
+
+    __slots__ = ("_registry", "_prefix")
+
+    def __init__(self, registry: RngRegistry, prefix: str):
+        if not prefix:
+            raise ValueError("namespace prefix must be non-empty")
+        self._registry = registry
+        self._prefix = prefix
+
+    @property
+    def master_seed(self) -> int:
+        return self._registry.master_seed
+
+    @property
+    def prefix(self) -> str:
+        return self._prefix
+
+    def stream(self, name: str) -> random.Random:
+        """The parent registry's stream for ``<prefix>/<name>``."""
+        return self._registry.stream(f"{self._prefix}/{name}")
+
+    def namespace(self, prefix: str) -> "RngNamespace":
+        """A deeper namespace: ``<prefix>`` appended with a ``/``."""
+        return RngNamespace(self._registry, f"{self._prefix}/{prefix}")

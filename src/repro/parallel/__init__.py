@@ -1,0 +1,33 @@
+"""Sharded parallel execution with conservative-lookahead synchronization.
+
+The package splits a scenario into *cells* (:class:`CellSpec`), derives
+which cells can possibly exchange energy (channel orthogonality + the
+energy-floor reachability probe, :func:`partition_cells`), and runs the
+resulting shards in worker processes that synchronize only through
+boundary arrivals under a conservative lookahead equal to the minimum
+cross-shard propagation delay (:func:`run_sharded`).
+:func:`run_single` executes the identical cell list on one kernel — the
+differential reference the equivalence tests compare against.
+
+See README, "Sharded execution", for the determinism contract and the
+partitioning rules.
+"""
+
+from .executor import ArrivalLog, CellBuild, run_sharded, run_single
+from .partition import (CellSpec, Coupling, ShardPlan, find_couplings,
+                        partition_cells)
+from .shard import BoundaryRecord, ShardMedium
+
+__all__ = [
+    "ArrivalLog",
+    "BoundaryRecord",
+    "CellBuild",
+    "CellSpec",
+    "Coupling",
+    "ShardMedium",
+    "ShardPlan",
+    "find_couplings",
+    "partition_cells",
+    "run_sharded",
+    "run_single",
+]

@@ -1,0 +1,396 @@
+"""The sharded executor: conservative-lookahead multi-process runs.
+
+:func:`run_sharded` partitions a cell list (see
+:mod:`repro.parallel.partition`), forks one worker process per shard,
+and drives the workers through coordinator-paced **rounds**: each round
+every shard receives a safe bound — the horizon capped by
+``min(coupled source clock + lookahead)`` — injects the boundary
+arrivals routed to it, runs its event loop to the bound, and fences
+back its clock, event count and outbox.  Nothing a coupled source will
+ever transmit can arrive before ``source clock + lookahead`` (the
+lookahead *is* the minimum cross-shard propagation delay), so every
+shard executes exactly the events a single global heap would have given
+it, modulo the energy-faithful boundary contract documented in
+:mod:`repro.parallel.shard`.
+
+Determinism is layered:
+
+* **Per-cell RNG namespacing** (:meth:`RngRegistry.namespace`): every
+  component draws from ``cell/<name>/...`` streams whose seeds depend
+  only on the master seed and the name — byte-identical draws in a
+  single process and in any shard of any partitioning.  Per-*cell* (not
+  per-shard) namespacing is deliberate: it is what makes the
+  single-process-vs-sharded differential gate an exact byte comparison
+  for decoupled partitions.
+* **Deterministic addresses**: :meth:`CellBuild.address` carves each
+  cell a block of locally-administered MACs from its *global* cell
+  index, independent of shard placement and build order.
+* **Pinned merge order**: boundary records merge by
+  ``(time, shard, seq)`` everywhere — in the coordinator's round batch
+  (audited by ``InvariantChecker.check_merge_order``) and in the
+  canonical :class:`ArrivalLog`, whose SHA-1 is the two-runs-identical
+  fingerprint CI byte-compares.
+
+:func:`run_single` executes the same cell list on one kernel — the
+differential reference, and the ``workers=1`` baseline for scaling
+measurements.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import multiprocessing
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.engine import Simulator
+from ..core.errors import ConfigurationError, SimulationError
+from ..core.trace import TraceLog
+from ..faults.invariants import InvariantChecker
+from ..mac.addresses import MacAddress
+from ..phy.channel import Medium
+from ..phy.propagation import PropagationModel
+from .partition import CellSpec, ShardPlan, partition_cells
+from .shard import BoundaryRecord, ShardMedium
+
+#: Base of the deterministic per-cell address blocks: locally
+#: administered, with a per-cell 16-bit block index in octets 4-5 and
+#: the device serial in the last two octets.  Block indices start at 1,
+#: so the blocks can never collide with :func:`allocate_address`'s
+#: low-serial range in mixed scenarios (< 65536 global devices).
+_CELL_ADDRESS_BASE = 0x02_00_00_00_00_00
+
+
+class CellBuild:
+    """Build context handed to every :class:`CellSpec`'s builder.
+
+    The builder must construct the cell's radios/MACs/traffic on
+    :attr:`sim`/:attr:`medium`, draw randomness only from :attr:`rng`,
+    take addresses only from :meth:`address`, and return a zero-argument
+    stats collector.  Those three rules are the portability contract:
+    they make the cell's behaviour a pure function of the master seed
+    and the cell's own name/index, so the same cell is bit-identical in
+    a single-process run and in any shard.
+    """
+
+    def __init__(self, sim: Simulator, medium: Medium, cell: CellSpec,
+                 cell_index: int,
+                 checker: Optional[InvariantChecker] = None):
+        self.sim = sim
+        self.medium = medium
+        self.cell = cell
+        self.cell_index = cell_index
+        #: Sweeps this worker when ``check_invariants`` is on (watch
+        #: meshes/extra MACs here); ``None`` otherwise.
+        self.checker = checker
+        self.rng = sim.rng.namespace(f"cell/{cell.name}")
+        self._serial = itertools.count()
+
+    def address(self) -> MacAddress:
+        """Next address in this cell's deterministic block."""
+        serial = next(self._serial)
+        if serial >= (1 << 16):
+            raise ConfigurationError(
+                f"cell {self.cell.name!r} exhausted its 65536-address "
+                f"block")
+        return MacAddress(_CELL_ADDRESS_BASE
+                          | ((self.cell_index + 1) << 16) | serial)
+
+
+class ArrivalLog:
+    """Canonical cross-shard activity log (JSONL, byte-comparable).
+
+    Every float is serialized through ``repr`` (shortest round-trip
+    form) and every object with sorted keys, so two runs of the same
+    partition produce byte-identical logs — the CI determinism gate
+    hashes exactly this text.
+    """
+
+    def __init__(self, header: Dict):
+        self._lines: List[str] = [self._dump({"type": "header", **header})]
+
+    @staticmethod
+    def _dump(record: Dict) -> str:
+        return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+    def arrival(self, record: BoundaryRecord,
+                dests: Sequence[int]) -> None:
+        self._lines.append(self._dump({
+            "type": "arrival", "time": repr(record.start_time),
+            "shard": record.shard, "seq": record.seq,
+            "sender": record.sender, "channel": record.channel,
+            "power_watts": repr(record.power_watts),
+            "duration": repr(record.duration),
+            "dests": list(dests)}))
+
+    def fence(self, round_index: int, shard: int, clock: float,
+              events: int) -> None:
+        self._lines.append(self._dump({
+            "type": "fence", "round": round_index, "shard": shard,
+            "clock": repr(clock), "events": events}))
+
+    def final(self, shard: int, clock: float, events: int) -> None:
+        self._lines.append(self._dump({
+            "type": "final", "shard": shard, "clock": repr(clock),
+            "events": events}))
+
+    def to_jsonl(self) -> str:
+        return "\n".join(self._lines) + "\n"
+
+    def sha1(self) -> str:
+        return hashlib.sha1(self.to_jsonl().encode()).hexdigest()
+
+
+def _build_cells(sim: Simulator, medium: Medium,
+                 cells: Sequence[CellSpec], indices: Sequence[int],
+                 checker: Optional[InvariantChecker]
+                 ) -> Dict[str, Callable[[], Dict]]:
+    collectors = {}
+    for cell, index in zip(cells, indices):
+        collectors[cell.name] = cell.build(
+            CellBuild(sim, medium, cell, index, checker))
+    return collectors
+
+
+def run_single(cells, *, seed: int, horizon: float,
+               propagation_factory: Callable[[], PropagationModel],
+               reception_floor_dbm: float = -110.0,
+               propagation_delay: bool = True,
+               exact: bool = True,
+               check_invariants: bool = False) -> Dict:
+    """Run every cell on one kernel — the differential reference.
+
+    ``propagation_factory`` (not a model instance) keeps the signature
+    symmetric with :func:`run_sharded`, where each worker must build
+    its own model; stateless models make the two bit-comparable.
+    """
+    ordered = tuple(sorted(cells, key=lambda cell: cell.name))
+    sim = Simulator(seed=seed, trace=TraceLog(enabled=False))
+    medium = Medium(sim, propagation_factory(),
+                    reception_floor_dbm=reception_floor_dbm,
+                    propagation_delay=propagation_delay, exact=exact)
+    checker = None
+    if check_invariants:
+        checker = InvariantChecker(sim)
+        checker.watch_medium(medium)
+    collectors = _build_cells(sim, medium, ordered, range(len(ordered)),
+                              checker)
+    if checker is not None:
+        checker.install()
+    sim.run(until=horizon)
+    return {
+        "cells": {name: collectors[name]() for name in sorted(collectors)},
+        "events": sim.events_executed,
+    }
+
+
+def _worker_main(conn, shard_index: int, shard_cells, global_indices,
+                 export_channels, seed: int, horizon: float,
+                 propagation_factory, reception_floor_dbm: float,
+                 propagation_delay: bool, exact: bool,
+                 check_invariants: bool) -> None:
+    """One shard's event loop, driven by coordinator messages.
+
+    Protocol (worker side): after building, send ``("ready", shard)``;
+    then for each ``("advance", bound, records)`` inject the records,
+    run to the bound, and fence back
+    ``("fence", shard, clock, events, outbox)``; on ``("finish",)``
+    send ``("stats", shard, {cell: stats}, events)`` and exit.  Any
+    exception turns into ``("error", shard, message)``.
+    """
+    try:
+        sim = Simulator(seed=seed, trace=TraceLog(enabled=False))
+        medium = ShardMedium(sim, propagation_factory(),
+                             reception_floor_dbm=reception_floor_dbm,
+                             propagation_delay=propagation_delay,
+                             exact=exact, shard=shard_index,
+                             export_channels=export_channels)
+        checker = None
+        if check_invariants:
+            checker = InvariantChecker(sim, shard=shard_index)
+            checker.watch_medium(medium)
+        collectors = _build_cells(sim, medium, shard_cells,
+                                  global_indices, checker)
+        if checker is not None:
+            checker.install()
+        conn.send(("ready", shard_index))
+        while True:
+            message = conn.recv()
+            kind = message[0]
+            if kind == "advance":
+                _, bound, records = message
+                for record in records:
+                    medium.inject_boundary(BoundaryRecord(*record))
+                sim.run(until=bound)
+                conn.send(("fence", shard_index, sim.now,
+                           sim.events_executed,
+                           [tuple(r) for r in medium.drain_outbox()]))
+            elif kind == "finish":
+                stats = {name: collector()
+                         for name, collector in collectors.items()}
+                conn.send(("stats", shard_index, stats,
+                           sim.events_executed))
+                conn.close()
+                return
+            else:  # pragma: no cover - protocol guard
+                raise SimulationError(
+                    f"shard {shard_index}: unknown message {kind!r}")
+    except BaseException as exc:
+        try:
+            conn.send(("error", shard_index, f"{type(exc).__name__}: {exc}"))
+        except Exception:  # pragma: no cover - pipe already gone
+            pass
+
+
+def _recv(conn, shard: int):
+    """Receive one message, surfacing worker errors/death as ours."""
+    try:
+        message = conn.recv()
+    except EOFError:
+        raise SimulationError(
+            f"shard {shard}: worker died without reporting an error")
+    if message[0] == "error":
+        raise SimulationError(f"shard {message[1]} failed: {message[2]}")
+    return message
+
+
+def run_sharded(cells, *, seed: int, horizon: float, workers: int,
+                propagation_factory: Callable[[], PropagationModel],
+                reception_floor_dbm: float = -110.0,
+                propagation_delay: bool = True,
+                exact: bool = True,
+                check_invariants: bool = False,
+                manual: Optional[Mapping[str, int]] = None,
+                lookahead_override: Optional[float] = None) -> Dict:
+    """Run the cells sharded across worker processes.
+
+    Returns the :func:`run_single` result shape plus the sharding
+    diagnostics: shard count, synchronization round count, boundary
+    record count, the canonical arrival log (and its SHA-1 — the
+    determinism fingerprint), and the :class:`ShardPlan`.
+
+    ``lookahead_override`` replaces every derived cross-shard lookahead
+    (test/diagnostics knob — an overstated value trips the boundary
+    lookahead-violation guard, which is exactly what its test does).
+    """
+    plan = partition_cells(cells, propagation_factory(), workers=workers,
+                           reception_floor_dbm=reception_floor_dbm,
+                           manual=manual)
+    lookahead = dict(plan.lookahead)
+    if lookahead_override is not None:
+        lookahead = {key: lookahead_override for key in lookahead}
+    if lookahead and not propagation_delay:
+        raise ConfigurationError(
+            "coupled shards require propagation_delay=True: the "
+            "conservative lookahead IS the minimum cross-shard "
+            "propagation delay, and without delay modelling boundary "
+            "arrivals would be instantaneous (no positive lookahead "
+            "exists)")
+    shard_count = len(plan.shards)
+    context = multiprocessing.get_context("fork")
+    connections = []
+    processes = []
+    log = ArrivalLog({
+        "seed": seed, "horizon": repr(horizon), "workers": workers,
+        "shard_count": shard_count, "exact": exact,
+        "partition": plan.describe(),
+    })
+    try:
+        for index, shard_cells in enumerate(plan.shards):
+            parent_conn, child_conn = context.Pipe(duplex=True)
+            indices = [plan.index_of(cell.name) for cell in shard_cells]
+            process = context.Process(
+                target=_worker_main,
+                args=(child_conn, index, shard_cells, indices,
+                      plan.export_channels[index], seed, horizon,
+                      propagation_factory, reception_floor_dbm,
+                      propagation_delay, exact, check_invariants),
+                daemon=True)
+            process.start()
+            child_conn.close()
+            connections.append(parent_conn)
+            processes.append(process)
+        for index, conn in enumerate(connections):
+            _recv(conn, index)  # ("ready", index)
+
+        clocks = [0.0] * shard_count
+        events = [0] * shard_count
+        done = [False] * shard_count
+        pending: List[List[Tuple]] = [[] for _ in range(shard_count)]
+        incoming = [plan.incoming(index) for index in range(shard_count)]
+        if lookahead_override is not None:
+            incoming = [{src: lookahead_override for src in sources}
+                        for sources in incoming]
+        merge_tail: Dict[int, Tuple[float, int]] = {}
+        rounds = 0
+        boundary_records = 0
+        while not all(done):
+            rounds += 1
+            advancing = []
+            for index in range(shard_count):
+                if done[index]:
+                    continue
+                bound = horizon
+                for src, delay in incoming[index].items():
+                    if not done[src]:
+                        bound = min(bound, clocks[src] + delay)
+                if bound <= clocks[index]:
+                    continue  # cannot safely advance this round
+                advancing.append((index, bound))
+            if not advancing:
+                raise SimulationError(
+                    f"sharded run deadlocked at round {rounds}: no shard "
+                    f"can advance (clocks={clocks!r})")
+            for index, bound in advancing:
+                connections[index].send(("advance", bound, pending[index]))
+                pending[index] = []
+            batch: List[BoundaryRecord] = []
+            for index, _bound in advancing:
+                message = _recv(connections[index], index)
+                _, shard, clock, executed, outbox = message
+                clocks[shard] = clock
+                events[shard] = executed
+                log.fence(rounds, shard, clock, executed)
+                batch.extend(BoundaryRecord(*record) for record in outbox)
+                if clock >= horizon:
+                    done[shard] = True
+            batch.sort()  # (time, shard, seq) is the tuple prefix
+            InvariantChecker.check_merge_order(batch, merge_tail)
+            for record in batch:
+                boundary_records += 1
+                dests = plan.routes.get((record.shard, record.channel), ())
+                live = [dest for dest in dests if not done[dest]]
+                log.arrival(record, live)
+                for dest in live:
+                    pending[dest].append(tuple(record))
+
+        for index, conn in enumerate(connections):
+            conn.send(("finish",))
+        merged: Dict[str, Dict] = {}
+        for index, conn in enumerate(connections):
+            message = _recv(conn, index)
+            _, shard, stats, executed = message
+            events[shard] = executed
+            log.final(shard, clocks[shard], executed)
+            merged.update(stats)
+        for process in processes:
+            process.join(timeout=30)
+    finally:
+        for process in processes:
+            if process.is_alive():  # pragma: no cover - cleanup path
+                process.terminate()
+                process.join(timeout=5)
+        for conn in connections:
+            conn.close()
+
+    return {
+        "cells": {name: merged[name] for name in sorted(merged)},
+        "events": sum(events),
+        "shards": shard_count,
+        "rounds": rounds,
+        "boundary_records": boundary_records,
+        "arrival_log": log.to_jsonl(),
+        "arrival_log_sha1": log.sha1(),
+        "plan": plan,
+    }

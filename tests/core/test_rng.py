@@ -45,3 +45,39 @@ class TestRngRegistry:
         registry.stream("zeta")
         registry.stream("alpha")
         assert registry.stream_names() == ["alpha", "zeta"]
+
+
+class TestRngNamespace:
+    def test_namespace_prefixes_stream_names(self):
+        registry = RngRegistry(4)
+        ns = registry.namespace("cell/a")
+        assert ns.stream("mac").random() \
+            == RngRegistry(4).stream("cell/a/mac").random()
+
+    def test_namespace_is_placement_independent(self):
+        # The sharded-executor property: the same namespaced stream
+        # draws identically no matter what else the registry served.
+        alone = RngRegistry(7).namespace("cell/x").stream("s").random()
+        crowded_registry = RngRegistry(7)
+        crowded_registry.stream("unrelated").random()
+        crowded_registry.namespace("cell/other").stream("s").random()
+        crowded = crowded_registry.namespace("cell/x").stream("s").random()
+        assert alone == crowded
+
+    def test_nested_namespace_joins_with_slash(self):
+        registry = RngRegistry(2)
+        nested = registry.namespace("cell/a").namespace("traffic")
+        assert nested.prefix == "cell/a/traffic"
+        assert nested.stream("jitter").random() \
+            == RngRegistry(2).stream("cell/a/traffic/jitter").random()
+
+    def test_namespace_shares_parent_registry(self):
+        registry = RngRegistry(1)
+        ns = registry.namespace("cell/a")
+        assert ns.stream("s") is registry.stream("cell/a/s")
+        assert ns.master_seed == registry.master_seed
+
+    def test_empty_prefix_rejected(self):
+        import pytest
+        with pytest.raises(ValueError):
+            RngRegistry(0).namespace("")

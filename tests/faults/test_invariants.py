@@ -204,3 +204,53 @@ class TestLoopFree:
         checker = InvariantChecker(sim, strict=True).watch_mesh(nodes)
         checker.check_now()
         assert checker.violations == []
+
+
+class TestShardMode:
+    def test_shard_prefix_appears_in_violation_subject(self, sim):
+        sim.run(until=1.0)
+        checker = InvariantChecker(sim, strict=False, shard=3)
+        heapq.heappush(sim._heap, (0.5, -1, lambda: None, ()))
+        checker.check_now()
+        (violation,) = checker.violations
+        assert violation.subject.startswith("shard3:")
+
+    def test_no_shard_keeps_historical_subjects(self, sim):
+        sim.run(until=1.0)
+        checker = InvariantChecker(sim, strict=False)
+        heapq.heappush(sim._heap, (0.5, -1, lambda: None, ()))
+        checker.check_now()
+        (violation,) = checker.violations
+        assert not violation.subject.startswith("shard")
+
+
+class TestMergeOrder:
+    def _record(self, time, shard, seq):
+        # Only the (time, shard, seq) merge-key prefix matters here.
+        return (time, shard, seq, "sender", 0.0, 0.0, 0.0, 1, 0.1, 1e-4)
+
+    def test_sorted_batch_passes_and_updates_tail(self):
+        tail = {}
+        batch = [self._record(0.1, 0, 0), self._record(0.1, 1, 0),
+                 self._record(0.2, 0, 1)]
+        InvariantChecker.check_merge_order(batch, tail)
+        assert tail == {0: (0.2, 1), 1: (0.1, 0)}
+
+    def test_unsorted_batch_is_caught(self):
+        batch = [self._record(0.2, 0, 0), self._record(0.1, 1, 0)]
+        with pytest.raises(InvariantViolation, match="merge"):
+            InvariantChecker.check_merge_order(batch, {})
+
+    def test_per_shard_seq_regression_across_rounds_is_caught(self):
+        tail = {}
+        InvariantChecker.check_merge_order([self._record(0.1, 0, 5)], tail)
+        with pytest.raises(InvariantViolation, match="merge"):
+            InvariantChecker.check_merge_order([self._record(0.2, 0, 5)],
+                                               tail)
+
+    def test_monotone_rounds_pass(self):
+        tail = {}
+        InvariantChecker.check_merge_order([self._record(0.1, 0, 0)], tail)
+        InvariantChecker.check_merge_order([self._record(0.1, 0, 1),
+                                            self._record(0.3, 1, 0)], tail)
+        assert tail == {0: (0.1, 1), 1: (0.3, 0)}

@@ -1,0 +1,235 @@
+"""Tests for the sharded executor machinery (build context, boundary
+medium, arrival log, coordinator protocol)."""
+
+import json
+
+import pytest
+
+from repro.core.engine import Simulator
+from repro.core.errors import ConfigurationError, InvariantViolation
+from repro.core.topology import Position
+from repro.core.trace import TraceLog
+from repro.mac.addresses import MacAddress
+from repro.parallel import (ArrivalLog, BoundaryRecord, CellSpec,
+                            ShardMedium, run_sharded, run_single)
+from repro.parallel.executor import CellBuild
+from repro.phy.channel import ENERGY_ONLY
+from repro.phy.propagation import LogDistance
+from repro.phy.standards import DOT11B
+from repro.phy.transceiver import Radio
+
+
+def free_space():
+    return LogDistance(2.4e9, exponent=2.0)
+
+
+def _noop_build(ctx):
+    return lambda: {}
+
+
+def spec(name, channel=1, x=0.0, build=_noop_build):
+    return CellSpec(name, channel, Position(x, 0.0, 0.0), 10.0, build)
+
+
+class TestCellBuild:
+    def _ctx(self, name="alpha", index=2):
+        sim = Simulator(seed=3)
+        return CellBuild(sim, None, spec(name), index)
+
+    def test_addresses_are_deterministic_per_cell_index(self):
+        first = self._ctx()
+        assert first.address() == MacAddress(0x02_00_00_00_00_00 | (3 << 16))
+        assert first.address() \
+            == MacAddress(0x02_00_00_00_00_00 | (3 << 16) | 1)
+        again = self._ctx()
+        assert again.address().value == 0x02_00_00_00_00_00 | (3 << 16)
+
+    def test_addresses_are_locally_administered_and_unicast(self):
+        address = self._ctx().address()
+        assert address.is_locally_administered
+        assert not address.is_multicast
+
+    def test_different_cells_never_collide(self):
+        a = {self._ctx(index=0).address().value for _ in range(1)}
+        b = {self._ctx(index=1).address().value for _ in range(1)}
+        assert not a & b
+
+    def test_rng_is_cell_namespaced(self):
+        ctx = self._ctx(name="alpha")
+        expected = Simulator(seed=3).rng.stream("cell/alpha/s").random()
+        assert ctx.rng.stream("s").random() == expected
+
+
+class TestShardMedium:
+    def _medium(self, shard=0, export=frozenset({1})):
+        sim = Simulator(seed=1, trace=TraceLog(enabled=False))
+        medium = ShardMedium(sim, free_space(), shard=shard,
+                             export_channels=export)
+        return sim, medium
+
+    def test_exported_channel_transmissions_fill_outbox(self):
+        sim, medium = self._medium()
+        radio = Radio("tx", medium, DOT11B, Position(0, 0, 0), channel_id=1)
+        medium.transmit_energy(radio, duration=1e-4, power_watts=0.1)
+        (record,) = medium.drain_outbox()
+        assert record.shard == 0 and record.seq == 0
+        assert record.sender == "tx" and record.channel == 1
+        assert record.power_watts == 0.1 and record.duration == 1e-4
+        assert medium.outbox == []  # drained
+
+    def test_non_exported_channel_is_not_recorded(self):
+        sim, medium = self._medium(export=frozenset({6}))
+        radio = Radio("tx", medium, DOT11B, Position(0, 0, 0), channel_id=1)
+        medium.transmit_energy(radio, duration=1e-4, power_watts=0.1)
+        assert medium.drain_outbox() == []
+
+    def test_export_seq_increments_per_shard(self):
+        sim, medium = self._medium()
+        radio = Radio("tx", medium, DOT11B, Position(0, 0, 0), channel_id=1)
+        medium.transmit_energy(radio, duration=1e-5, power_watts=0.1)
+        medium.transmit_energy(radio, duration=1e-5, power_watts=0.1)
+        first, second = medium.drain_outbox()
+        assert (first.seq, second.seq) == (0, 1)
+
+    def test_inject_boundary_delivers_energy_to_local_radios(self):
+        sim, medium = self._medium()
+        rx = Radio("rx", medium, DOT11B, Position(0, 0, 0), channel_id=1)
+        record = BoundaryRecord(0.0, 1, 0, "remote", 30.0, 0.0, 0.0,
+                                1, 0.5, 2e-4)
+        medium.inject_boundary(record)
+        assert medium.boundary_injected == 1
+        # Two raw heap entries (begins/ends) for the one audible radio.
+        assert sim.pending_events == 2
+        sim.run(until=1e-4)
+        # Mid-burst the ghost's energy drives the receiver's CCA.
+        assert rx.total_incident_power_watts() > 0.0
+        sim.run(until=1.0)
+        assert rx.total_incident_power_watts() == 0.0
+
+    def test_injected_ghost_is_energy_only(self):
+        sim, medium = self._medium()
+        rx = Radio("rx", medium, DOT11B, Position(0, 0, 0), channel_id=1)
+        record = BoundaryRecord(0.0, 1, 0, "remote", 5.0, 0.0, 0.0,
+                                1, 0.5, 2e-4)
+        transmission = medium.inject_boundary(record)
+        assert transmission.mode is ENERGY_ONLY
+        # A strong arrival (5 m away) that a real frame would lock; the
+        # ghost never locks because no standard decodes ENERGY_ONLY.
+        sim.run(until=1.0)
+        assert rx.state.name != "RX"
+        assert rx.total_incident_power_watts() == 0.0
+
+    def test_inject_below_floor_schedules_nothing(self):
+        sim, medium = self._medium()
+        Radio("rx", medium, DOT11B, Position(0, 0, 0), channel_id=1)
+        record = BoundaryRecord(0.0, 1, 0, "remote", 5e5, 0.0, 0.0,
+                                1, 0.5, 2e-4)
+        medium.inject_boundary(record)
+        assert sim.pending_events == 0
+
+    def test_past_arrival_raises_lookahead_violation(self):
+        sim, medium = self._medium()
+        Radio("rx", medium, DOT11B, Position(0, 0, 0), channel_id=1)
+        sim.schedule(1.0, lambda: None)
+        sim.run(until=1.0)
+        record = BoundaryRecord(0.5, 1, 0, "remote", 30.0, 0.0, 0.0,
+                                1, 0.5, 2e-4)
+        with pytest.raises(InvariantViolation, match="lookahead"):
+            medium.inject_boundary(record)
+
+
+class TestArrivalLog:
+    def test_log_is_canonical_jsonl(self):
+        log = ArrivalLog({"seed": 1})
+        log.arrival(BoundaryRecord(0.125, 0, 0, "s", 0.0, 0.0, 0.0,
+                                   1, 0.1, 1e-4), dests=[1])
+        log.fence(1, 0, 0.25, 10)
+        log.final(0, 0.25, 10)
+        text = log.to_jsonl()
+        lines = text.strip().split("\n")
+        assert [json.loads(line)["type"] for line in lines] \
+            == ["header", "arrival", "fence", "final"]
+        # Floats ride as repr strings: byte-stable across platforms.
+        assert json.loads(lines[1])["time"] == "0.125"
+        assert len(log.sha1()) == 40
+
+    def test_identical_content_hashes_identically(self):
+        def build():
+            log = ArrivalLog({"seed": 9})
+            log.fence(1, 0, 0.5, 42)
+            return log
+        assert build().sha1() == build().sha1()
+
+
+def _counting_build(ctx):
+    """A tiny deterministic DES cell: periodic self-traffic."""
+    sim = ctx.sim
+    draws = []
+
+    def tick(remaining):
+        draws.append(ctx.rng.stream("tick").random())
+        if remaining > 0:
+            sim.schedule(0.01, tick, remaining - 1)
+
+    sim.schedule(0.0, tick, 5)
+    return lambda: {"draws": draws, "address": str(ctx.address())}
+
+
+class TestExecutors:
+    def test_single_and_sharded_match_when_decoupled(self):
+        cells = [CellSpec(f"c{i}", 1, Position(i * 1e6, 0.0, 0.0), 10.0,
+                          _counting_build) for i in range(4)]
+        single = run_single(cells, seed=11, horizon=0.1,
+                            propagation_factory=free_space)
+        sharded = run_sharded(cells, seed=11, horizon=0.1, workers=2,
+                              propagation_factory=free_space)
+        assert single["cells"] == sharded["cells"]
+        assert single["events"] == sharded["events"]
+        assert sharded["shards"] == 2
+        assert sharded["rounds"] == 1
+        assert sharded["boundary_records"] == 0
+
+    def test_sharded_runs_are_byte_identical(self):
+        cells = [CellSpec(f"c{i}", 1, Position(i * 1e6, 0.0, 0.0), 10.0,
+                          _counting_build) for i in range(3)]
+        first = run_sharded(cells, seed=5, horizon=0.05, workers=3,
+                            propagation_factory=free_space)
+        second = run_sharded(cells, seed=5, horizon=0.05, workers=3,
+                             propagation_factory=free_space)
+        assert first["arrival_log"] == second["arrival_log"]
+        assert first["arrival_log_sha1"] == second["arrival_log_sha1"]
+        assert first["cells"] == second["cells"]
+
+    def test_coupled_without_propagation_delay_rejected(self):
+        cells = [spec("a", x=0.0), spec("b", x=100.0)]
+        with pytest.raises(ConfigurationError, match="propagation_delay"):
+            run_sharded(cells, seed=1, horizon=0.01, workers=2,
+                        propagation_factory=free_space,
+                        propagation_delay=False,
+                        manual={"a": 0, "b": 1})
+
+    def test_coupled_pair_synchronizes_in_lookahead_rounds(self):
+        cells = [spec("a", x=0.0, build=_counting_build),
+                 spec("b", x=100.0, build=_counting_build)]
+        result = run_sharded(cells, seed=2, horizon=1e-5, workers=2,
+                             propagation_factory=free_space,
+                             manual={"a": 0, "b": 1})
+        # lookahead = 80 m / c ~ 267 ns; horizon 10 us => ~38 rounds.
+        assert result["rounds"] > 10
+
+    def test_worker_exception_surfaces_with_shard_id(self):
+        def broken(ctx):
+            raise RuntimeError("boom in builder")
+        cells = [spec("a", build=broken)]
+        from repro.core.errors import SimulationError
+        with pytest.raises(SimulationError, match="shard 0.*boom"):
+            run_sharded(cells, seed=1, horizon=0.01, workers=1,
+                        propagation_factory=free_space)
+
+    def test_check_invariants_runs_sharded(self):
+        cells = [CellSpec(f"c{i}", 1, Position(i * 1e6, 0.0, 0.0), 10.0,
+                          _counting_build) for i in range(2)]
+        result = run_sharded(cells, seed=3, horizon=0.1, workers=2,
+                             propagation_factory=free_space,
+                             check_invariants=True)
+        assert result["shards"] == 2

@@ -22,10 +22,11 @@ directory.  Used two ways:
 from __future__ import annotations
 
 import argparse
+import fnmatch
 import json
 import pathlib
 import sys
-from typing import Any, Dict
+from typing import Any, Dict, List, Optional, Sequence
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
@@ -37,9 +38,38 @@ FIXTURE_PATH = REPO_ROOT / "tests" / "mac" / "fixtures" / "tiebreak_trace.json"
 #: Macros whose runs are DES-driven (wep_audit has no event trace).
 TRACED_MACROS = ("dcf_saturation", "dcf_saturation_100", "multi_bss",
                  "hidden_terminal", "roaming_ess")
+#: Everything capture-able: the traced set plus the stats-only macros.
+CAPTURABLE_MACROS = TRACED_MACROS + ("wep_audit",)
 
 
-def capture_macros(out_dir: pathlib.Path, scale: float) -> None:
+def select_macros(patterns: Optional[Sequence[str]],
+                  error) -> List[str]:
+    """Resolve ``--only`` patterns against the capturable macro set.
+
+    Same contract as ``run_bench.py --only``: each entry is an exact
+    name or a glob, order follows the command line, duplicates
+    collapse, and a pattern matching nothing is an error — a typo must
+    not silently capture zero macros and report success.  ``error`` is
+    the parser's error callback (or any ``str -> NoReturn``).
+    """
+    if not patterns:
+        return list(CAPTURABLE_MACROS)
+    names: List[str] = []
+    unmatched = []
+    for pattern in patterns:
+        matched = [name for name in CAPTURABLE_MACROS
+                   if fnmatch.fnmatch(name, pattern)]
+        if not matched:
+            unmatched.append(pattern)
+        names.extend(name for name in matched if name not in names)
+    if unmatched:
+        error(f"unknown macro(s)/pattern(s): {unmatched}; "
+              f"capturable: {list(CAPTURABLE_MACROS)}")
+    return names
+
+
+def capture_macros(out_dir: pathlib.Path, scale: float,
+                   names: Optional[Sequence[str]] = None) -> None:
     from perf import macro as macro_mod
     from repro.core.engine import Simulator
     from repro.core.trace import TraceLog
@@ -52,8 +82,10 @@ def capture_macros(out_dir: pathlib.Path, scale: float) -> None:
         captured["sim"] = sim
         return sim
 
+    if names is None:
+        names = CAPTURABLE_MACROS
     macro_mod._perf_simulator = traced_simulator
-    for name in TRACED_MACROS:
+    for name in [n for n in names if n in TRACED_MACROS]:
         result = macro_mod.MACROS[name](scale)
         sim = captured["sim"]
         lines = [
@@ -75,11 +107,12 @@ def capture_macros(out_dir: pathlib.Path, scale: float) -> None:
         (out_dir / f"{name}.stats.json").write_text(
             json.dumps(stats, indent=2, sort_keys=True) + "\n")
         print(f"{name:20s} {len(lines):8d} trace lines -> {out_dir}")
-    # wep_audit: stats only (pure computation, no event trace).
-    result = macro_mod.MACROS["wep_audit"](min(scale, 1.0))
-    (out_dir / "wep_audit.stats.json").write_text(
-        json.dumps(result["stats"], indent=2, sort_keys=True) + "\n")
-    print(f"{'wep_audit':20s} stats only -> {out_dir}")
+    if "wep_audit" in names:
+        # wep_audit: stats only (pure computation, no event trace).
+        result = macro_mod.MACROS["wep_audit"](min(scale, 1.0))
+        (out_dir / "wep_audit.stats.json").write_text(
+            json.dumps(result["stats"], indent=2, sort_keys=True) + "\n")
+        print(f"{'wep_audit':20s} stats only -> {out_dir}")
 
 
 def capture_fixture() -> None:
@@ -107,14 +140,20 @@ def main(argv=None) -> int:
                         help="directory for <macro>.trace / .stats.json")
     parser.add_argument("--scale", type=float, default=0.5,
                         help="macro workload scale (default 0.5)")
+    parser.add_argument("--only", action="append", metavar="NAME",
+                        help="capture only this macro (repeatable; accepts "
+                             "glob patterns, same contract as "
+                             "run_bench.py --only; a pattern matching "
+                             "nothing is an error)")
     parser.add_argument("--fixture", action="store_true",
                         help="regenerate the committed tie-break fixture")
     args = parser.parse_args(argv)
     if not args.fixture and args.out_dir is None:
         parser.error("need an out_dir (or --fixture)")
     if args.out_dir is not None:
+        names = select_macros(args.only, parser.error)
         args.out_dir.mkdir(parents=True, exist_ok=True)
-        capture_macros(args.out_dir, args.scale)
+        capture_macros(args.out_dir, args.scale, names)
     if args.fixture:
         capture_fixture()
     return 0

@@ -52,6 +52,7 @@ import fnmatch
 import gc
 import json
 import multiprocessing
+import multiprocessing.connection
 import pathlib
 import platform
 import pstats
@@ -199,6 +200,81 @@ def time_scenario_guarded(name: str, scale: float, repeats: int,
     return "timeout", None
 
 
+def iter_results(names, scale: float, repeats: int, profile: bool = False,
+                 timeout: float = 0.0, jobs: int = 1):
+    """Yield ``(name, status, payload)`` for every scenario, **in input
+    order** regardless of completion order.
+
+    ``jobs <= 1`` preserves the historical serial path byte-for-byte
+    (including the in-process no-timeout mode).  With ``jobs > 1``
+    every scenario runs in its own forked child — the same isolation
+    ``--timeout`` already buys — with at most ``jobs`` children alive at
+    once; finished results are buffered until their turn so the output
+    rows (and failure ordering) are pinned to the input list.
+    """
+    if jobs <= 1:
+        for name in names:
+            status, payload = time_scenario_guarded(name, scale, repeats,
+                                                    profile=profile,
+                                                    timeout=timeout)
+            yield name, status, payload
+        return
+    ctx = multiprocessing.get_context("fork")
+    order = list(names)
+    # Everything is keyed by input *index*, never by name: the same
+    # macro may legitimately appear more than once in the input list,
+    # and name-keyed buffering would collapse (and lose) those rows.
+    queue = list(enumerate(order))
+    running: Dict[Any, Tuple[int, Any, Optional[float]]] = {}
+    results: Dict[int, Tuple[str, Any]] = {}
+    emitted = 0
+    while emitted < len(order):
+        while queue and len(running) < jobs:
+            index, name = queue.pop(0)
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(target=_child_entry,
+                               args=(child_conn, name, scale, repeats,
+                                     profile))
+            proc.start()
+            child_conn.close()
+            deadline = time.monotonic() + timeout if timeout > 0 else None
+            running[parent_conn] = (index, proc, deadline)
+        if running:
+            if timeout > 0:
+                horizon = min(deadline for _, _, deadline
+                              in running.values())
+                wait_s = max(0.0, horizon - time.monotonic())
+                ready = multiprocessing.connection.wait(list(running),
+                                                        timeout=wait_s)
+            else:
+                ready = multiprocessing.connection.wait(list(running))
+            for conn in ready:
+                index, proc, _deadline = running.pop(conn)
+                try:
+                    status, payload = conn.recv()
+                    proc.join()
+                except EOFError:
+                    proc.join()
+                    status = "error"
+                    payload = f"worker exited with code {proc.exitcode}"
+                conn.close()
+                results[index] = (status, payload)
+            if not ready:  # some child blew its deadline
+                now = time.monotonic()
+                for conn in [c for c, (_, _, d) in running.items()
+                             if d is not None and d <= now]:
+                    index, proc, _deadline = running.pop(conn)
+                    proc.terminate()
+                    proc.join()
+                    conn.close()
+                    results[index] = ("timeout", None)
+        while emitted < len(order) and emitted in results:
+            status, payload = results.pop(emitted)
+            name = order[emitted]
+            emitted += 1
+            yield name, status, payload
+
+
 def write_bench_json(record: Dict[str, Any], out_dir: pathlib.Path) -> pathlib.Path:
     path = out_dir / f"BENCH_{record['name']}.json"
     path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
@@ -206,12 +282,12 @@ def write_bench_json(record: Dict[str, Any], out_dir: pathlib.Path) -> pathlib.P
 
 
 def run_full(names, scale: float, repeats: int, out_dir: pathlib.Path,
-             profile: bool = False, timeout: float = 0.0) -> int:
+             profile: bool = False, timeout: float = 0.0,
+             jobs: int = 1) -> int:
     failures = []
-    for name in names:
-        status, payload = time_scenario_guarded(name, scale, repeats,
-                                                profile=profile,
-                                                timeout=timeout)
+    for name, status, payload in iter_results(names, scale, repeats,
+                                              profile=profile,
+                                              timeout=timeout, jobs=jobs):
         if status != "ok":
             reason = f"timed out after {timeout:g}s" \
                 if status == "timeout" else payload
@@ -234,7 +310,7 @@ def _machine_fingerprint() -> str:
 
 
 def run_check(names, repeats: int, update_baseline: bool,
-              timeout: float = 0.0) -> int:
+              timeout: float = 0.0, jobs: int = 1) -> int:
     """Reduced-scale regression gate against the committed baseline.
 
     Throughput (work/sec) is only compared when the baseline was
@@ -255,9 +331,8 @@ def run_check(names, repeats: int, update_baseline: bool,
               f"the throughput gate for this machine.")
     failures = []
     records = {}
-    for name in names:
-        status, payload = time_scenario_guarded(name, CHECK_SCALE, repeats,
-                                                timeout=timeout)
+    for name, status, payload in iter_results(names, CHECK_SCALE, repeats,
+                                              timeout=timeout, jobs=jobs):
         if status != "ok":
             reason = f"timed out after {timeout:g}s" \
                 if status == "timeout" else payload
@@ -336,6 +411,12 @@ def main(argv=None) -> int:
                         help="cProfile one extra (untimed) run per scenario "
                              "and embed the top-10 cumulative functions in "
                              "the emitted BENCH_*.json")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run up to N scenarios concurrently, each in "
+                             "its own forked worker (the --timeout "
+                             "isolation); output rows stay in input order "
+                             "regardless of completion order (default 1 = "
+                             "the historical serial path)")
     parser.add_argument("--timeout", type=float, default=0.0,
                         metavar="SECONDS",
                         help="per-scenario wall-clock budget; a scenario "
@@ -372,11 +453,14 @@ def main(argv=None) -> int:
                          f"available: {sorted(MACROS)}")
     else:
         names = sorted(MACROS)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
     if args.check:
         return run_check(names, max(args.repeat, 3), args.update_baseline,
-                         timeout=args.timeout)
+                         timeout=args.timeout, jobs=args.jobs)
     return run_full(names, args.scale, args.repeat, args.out_dir,
-                    profile=args.profile, timeout=args.timeout)
+                    profile=args.profile, timeout=args.timeout,
+                    jobs=args.jobs)
 
 
 if __name__ == "__main__":
