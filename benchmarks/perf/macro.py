@@ -27,7 +27,8 @@ benchmarks, not here.
 from __future__ import annotations
 
 import hashlib
-from typing import Any, Callable, Dict, Optional, Tuple
+import json
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.adversary.emitters import PeriodicJammer
 from repro.core import Position, Simulator
@@ -100,11 +101,66 @@ def _install_checker(sim: Simulator, medium: Medium,
     return checker.install()
 
 
+def _install_telemetry(sim: Simulator, medium: Medium, *, enabled: bool,
+                       macs: Tuple = (), fault_log: Any = None,
+                       interval: float = 0.05) -> Any:
+    """Build + arm a :class:`repro.telemetry.Telemetry` hub (opt-in).
+
+    Mirrors ``_install_checker``: every DES macro takes
+    ``telemetry=True``; the default stays off so BENCH numbers measure
+    the production posture (the sampler's events would perturb the
+    ``events`` count, never the protocol outcomes).  A disabled hub is
+    a null object — every ``instrument_*`` call short-circuits.
+    """
+    from repro.telemetry import Telemetry
+    hub = Telemetry(sim, enabled=enabled, sample_interval=interval)
+    hub.instrument_kernel()
+    hub.instrument_medium(medium)
+    if enabled:
+        hub.instrument_macs(macs)
+        hub.instrument_radios(medium._radios)
+        if fault_log is not None:
+            hub.instrument_faults(fault_log)
+    return hub.install()
+
+
+def _telemetry_extras(hubs: List[Any]) -> Dict[str, Any]:
+    """Finish the hubs and assemble the extra (non-BENCH) result keys.
+
+    ``time_scenario`` ignores keys outside the BENCH schema, so these
+    never land in committed BENCH records; the telemetry determinism
+    tests byte-compare ``telemetry_jsonl`` across seeded runs.
+    Multi-kernel macros concatenate per-part streams behind ``part``
+    marker lines, in part order — still canonical, still byte-stable.
+    """
+    for hub in hubs:
+        hub.finish()
+    if len(hubs) == 1:
+        sim_jsonl = hubs[0].sim_jsonl()
+        wall_jsonl = hubs[0].wall_jsonl()
+        summary = hubs[0].summary()
+    else:
+        def _mark(index: int) -> str:
+            return json.dumps({"part": index, "type": "part"},
+                              sort_keys=True, separators=(",", ":"))
+        sim_jsonl = "\n".join(
+            line for index, hub in enumerate(hubs)
+            for line in (_mark(index), hub.sim_jsonl().rstrip("\n"))) + "\n"
+        wall_jsonl = "\n".join(
+            line for index, hub in enumerate(hubs)
+            for line in (_mark(index), hub.wall_jsonl().rstrip("\n"))) + "\n"
+        summary = [hub.summary() for hub in hubs]
+    return {"telemetry_jsonl": sim_jsonl,
+            "telemetry_wall_jsonl": wall_jsonl,
+            "telemetry_summary": summary}
+
+
 def dcf_saturation(scale: float = 1.0, *, seed: int = 5,
                    stations: int = 20,
                    cache_links: bool = True,
                    exact: bool = True,
-                   check_invariants: bool = False) -> Dict[str, Any]:
+                   check_invariants: bool = False,
+                   telemetry: bool = False) -> Dict[str, Any]:
     """20 saturated stations sending 800-byte MSDUs to one receiver.
 
     The headline macro-benchmark: dominated by arrival fan-out, CCA
@@ -127,6 +183,7 @@ def dcf_saturation(scale: float = 1.0, *, seed: int = 5,
     counter = _Count()
     receiver.listener = counter
     payload = bytes(800)
+    macs = [receiver]
     for index in range(stations):
         radio = Radio(f"tx{index}", medium, DOT11B,
                       Position(1.0 + index * 0.1, 0, 0))
@@ -135,11 +192,13 @@ def dcf_saturation(scale: float = 1.0, *, seed: int = 5,
         refill = _Refill(mac, receiver.address, payload)
         mac.listener = refill
         refill.prime()
+        macs.append(mac)
     if check_invariants:
         _install_checker(sim, medium)
+    hub = _install_telemetry(sim, medium, enabled=telemetry, macs=macs)
     horizon = 0.4 + 1.0 * scale
     sim.run(until=horizon)
-    return {
+    result = {
         "work": sim.events_executed,
         "work_unit": "events",
         "sim_seconds": horizon,
@@ -153,10 +212,14 @@ def dcf_saturation(scale: float = 1.0, *, seed: int = 5,
             "fanout_plan_misses": medium.plan_misses,
         },
     }
+    if telemetry:
+        result.update(_telemetry_extras([hub]))
+    return result
 
 
 def dcf_saturation_fast(scale: float = 1.0, *, seed: int = 5,
-                        check_invariants: bool = False) -> Dict[str, Any]:
+                        check_invariants: bool = False,
+                        telemetry: bool = False) -> Dict[str, Any]:
     """`dcf_saturation` in the relaxed-ulp fast mode (exact=False).
 
     Committed side-by-side with the exact macro so every PR's BENCH
@@ -165,18 +228,22 @@ def dcf_saturation_fast(scale: float = 1.0, *, seed: int = 5,
     bit-INcompatible with exact mode by design.
     """
     return dcf_saturation(scale, seed=seed, exact=False,
-                          check_invariants=check_invariants)
+                          check_invariants=check_invariants,
+                          telemetry=telemetry)
 
 
 def dcf_saturation_100_fast(scale: float = 1.0, *, seed: int = 17,
-                            check_invariants: bool = False) -> Dict[str, Any]:
+                            check_invariants: bool = False,
+                            telemetry: bool = False) -> Dict[str, Any]:
     """`dcf_saturation_100` in the relaxed-ulp fast mode (exact=False)."""
     return dcf_saturation(scale, seed=seed, stations=100, exact=False,
-                          check_invariants=check_invariants)
+                          check_invariants=check_invariants,
+                          telemetry=telemetry)
 
 
 def dcf_saturation_100(scale: float = 1.0, *, seed: int = 17,
-                       check_invariants: bool = False) -> Dict[str, Any]:
+                       check_invariants: bool = False,
+                       telemetry: bool = False) -> Dict[str, Any]:
     """100 saturated stations to one receiver: the dense-contention macro.
 
     Everything that grows with N concentrates here — arrival fan-out
@@ -187,12 +254,14 @@ def dcf_saturation_100(scale: float = 1.0, *, seed: int = 17,
     least the 20-station macro's.
     """
     return dcf_saturation(scale, seed=seed, stations=100,
-                          check_invariants=check_invariants)
+                          check_invariants=check_invariants,
+                          telemetry=telemetry)
 
 
 def multi_bss(scale: float = 1.0, *, seed: int = 23,
               bss_count: int = 4, stations_per_bss: int = 6,
-              check_invariants: bool = False) -> Dict[str, Any]:
+              check_invariants: bool = False,
+              telemetry: bool = False) -> Dict[str, Any]:
     """Several co-located BSSes on orthogonal channels, all saturated.
 
     Exercises per-channel medium isolation: the fan-out must touch only
@@ -209,6 +278,7 @@ def multi_bss(scale: float = 1.0, *, seed: int = 23,
     factory = fixed_rate_factory("CCK-11")
     payload = bytes(800)
     counters = []
+    macs = []
     for bss in range(bss_count):
         channel = channels[bss]
         receiver_radio = Radio(f"bss{bss}-rx", medium, DOT11B,
@@ -219,6 +289,7 @@ def multi_bss(scale: float = 1.0, *, seed: int = 23,
         counter = _Count()
         receiver.listener = counter
         counters.append(counter)
+        macs.append(receiver)
         for index in range(stations_per_bss):
             radio = Radio(f"bss{bss}-tx{index}", medium, DOT11B,
                           Position(1.0 + index * 0.1, 100.0 * bss, 0),
@@ -228,11 +299,13 @@ def multi_bss(scale: float = 1.0, *, seed: int = 23,
             refill = _Refill(mac, receiver.address, payload)
             mac.listener = refill
             refill.prime()
+            macs.append(mac)
     if check_invariants:
         _install_checker(sim, medium)
+    hub = _install_telemetry(sim, medium, enabled=telemetry, macs=macs)
     horizon = 0.4 + 1.0 * scale
     sim.run(until=horizon)
-    return {
+    result = {
         "work": sim.events_executed,
         "work_unit": "events",
         "sim_seconds": horizon,
@@ -243,11 +316,15 @@ def multi_bss(scale: float = 1.0, *, seed: int = 23,
             "events": sim.events_executed,
         },
     }
+    if telemetry:
+        result.update(_telemetry_extras([hub]))
+    return result
 
 
 def interference_field(scale: float = 1.0, *, seed: int = 29,
                        exact: bool = True,
-                       check_invariants: bool = False) -> Dict[str, Any]:
+                       check_invariants: bool = False,
+                       telemetry: bool = False) -> Dict[str, Any]:
     """A saturated BSS drowning in 26 overlapping energy emitters.
 
     The dense interference-field macro the ROADMAP called for: 20
@@ -316,9 +393,11 @@ def interference_field(scale: float = 1.0, *, seed: int = 29,
         emitter.start()
     if check_invariants:
         _install_checker(sim, medium)
+    hub = _install_telemetry(sim, medium, enabled=telemetry,
+                             macs=[receiver] + macs)
     horizon = 0.4 + 1.0 * scale
     sim.run(until=horizon)
-    return {
+    result = {
         "work": sim.events_executed,
         "work_unit": "events",
         "sim_seconds": horizon,
@@ -335,10 +414,14 @@ def interference_field(scale: float = 1.0, *, seed: int = 29,
             "fanout_plan_misses": medium.plan_misses,
         },
     }
+    if telemetry:
+        result.update(_telemetry_extras([hub]))
+    return result
 
 
 def interference_field_fast(scale: float = 1.0, *, seed: int = 29,
-                            check_invariants: bool = False) -> Dict[str, Any]:
+                            check_invariants: bool = False,
+                            telemetry: bool = False) -> Dict[str, Any]:
     """`interference_field` in the relaxed-ulp fast mode (exact=False).
 
     The workload fast mode exists for: with an ~8-deep arrival table at
@@ -350,11 +433,13 @@ def interference_field_fast(scale: float = 1.0, *, seed: int = 29,
     PERFORMANCE.md).
     """
     return interference_field(scale, seed=seed, exact=False,
-                              check_invariants=check_invariants)
+                              check_invariants=check_invariants,
+                              telemetry=telemetry)
 
 
 def hidden_terminal(scale: float = 1.0, *, seed: int = 11,
-                    check_invariants: bool = False) -> Dict[str, Any]:
+                    check_invariants: bool = False,
+                    telemetry: bool = False) -> Dict[str, Any]:
     """Two mutually hidden saturated senders with RTS/CTS enabled.
 
     Exercises the collision/RTS reservation machinery and the disc
@@ -383,9 +468,13 @@ def hidden_terminal(scale: float = 1.0, *, seed: int = 11,
             mac.send(destination, payload)
     if check_invariants:
         _install_checker(sim, scenario.medium)
+    hub = _install_telemetry(
+        sim, scenario.medium, enabled=telemetry,
+        macs=[scenario.sender_a.mac, scenario.sender_b.mac,
+              scenario.receiver.mac])
     horizon = 2.0 * scale
     sim.run(until=horizon)
-    return {
+    result = {
         "work": sim.events_executed,
         "work_unit": "events",
         "sim_seconds": horizon,
@@ -395,10 +484,14 @@ def hidden_terminal(scale: float = 1.0, *, seed: int = 11,
             "events": sim.events_executed,
         },
     }
+    if telemetry:
+        result.update(_telemetry_extras([hub]))
+    return result
 
 
 def roaming_ess(scale: float = 1.0, *, seed: int = 7,
-                check_invariants: bool = False) -> Dict[str, Any]:
+                check_invariants: bool = False,
+                telemetry: bool = False) -> Dict[str, Any]:
     """A station walks a 3-AP corridor with a downlink CBR flow.
 
     Exercises scanning/association, the DS location table, mobility
@@ -427,9 +520,12 @@ def roaming_ess(scale: float = 1.0, *, seed: int = 7,
                    tick=0.1).start()
     if check_invariants:
         _install_checker(sim, corridor.medium)
+    hub = _install_telemetry(
+        sim, corridor.medium, enabled=telemetry,
+        macs=[walker.mac] + [ap.mac for ap in corridor.aps])
     horizon = sim.now + 20.0 * scale
     sim.run(until=horizon)
-    return {
+    result = {
         "work": sim.events_executed,
         "work_unit": "events",
         "sim_seconds": horizon,
@@ -439,10 +535,14 @@ def roaming_ess(scale: float = 1.0, *, seed: int = 7,
             "events": sim.events_executed,
         },
     }
+    if telemetry:
+        result.update(_telemetry_extras([hub]))
+    return result
 
 
 def mesh_backhaul(scale: float = 1.0, *, seed: int = 31,
-                  check_invariants: bool = False) -> Dict[str, Any]:
+                  check_invariants: bool = False,
+                  telemetry: bool = False) -> Dict[str, Any]:
     """Multi-hop mesh relaying: the routing-layer macro.
 
     Three sub-scenarios, events summed:
@@ -474,6 +574,9 @@ def mesh_backhaul(scale: float = 1.0, *, seed: int = 31,
         packet_bytes=200, interval=0.01)
     if check_invariants:
         _install_checker(sim, chain.medium, meshes=(chain.nodes,))
+    static_hub = _install_telemetry(
+        sim, chain.medium, enabled=telemetry,
+        macs=[node.station.mac for node in chain.nodes])
     static_horizon = 0.4 + 1.0 * scale
     sim.run(until=static_horizon)
     static_events = sim.events_executed
@@ -491,6 +594,9 @@ def mesh_backhaul(scale: float = 1.0, *, seed: int = 31,
         packet_bytes=200, interval=0.02)
     if check_invariants:
         _install_checker(sim, dsdv_chain.medium, meshes=(dsdv_chain.nodes,))
+    dsdv_hub = _install_telemetry(
+        sim, dsdv_chain.medium, enabled=telemetry,
+        macs=[node.station.mac for node in dsdv_chain.nodes])
     dsdv_horizon = 1.0 + 1.0 * scale
     sim.run(until=dsdv_horizon)
     dsdv_events = sim.events_executed
@@ -520,12 +626,15 @@ def mesh_backhaul(scale: float = 1.0, *, seed: int = 31,
     sim.schedule_at(break_at, _break_active_relay)
     if check_invariants:
         _install_checker(sim, grid.medium, meshes=(grid.nodes,))
+    grid_hub = _install_telemetry(
+        sim, grid.medium, enabled=telemetry,
+        macs=[node.station.mac for node in grid.nodes])
     grid_horizon = break_at + 0.8 + 1.2 * scale
     sim.run(until=grid_horizon)
     grid_events = sim.events_executed
     broken = sum(node.counters.get("routes_broken") for node in grid.nodes)
 
-    return {
+    result = {
         "work": static_events + dsdv_events + grid_events,
         "work_unit": "events",
         "sim_seconds": static_horizon + dsdv_horizon + grid_horizon,
@@ -546,10 +655,14 @@ def mesh_backhaul(scale: float = 1.0, *, seed: int = 31,
             "events": static_events + dsdv_events + grid_events,
         },
     }
+    if telemetry:
+        result.update(_telemetry_extras([static_hub, dsdv_hub, grid_hub]))
+    return result
 
 
 def fault_storm(scale: float = 1.0, *, seed: int = 37,
-                check_invariants: bool = False) -> Dict[str, Any]:
+                check_invariants: bool = False,
+                telemetry: bool = False) -> Dict[str, Any]:
     """Crash/restart + fade storm over a BSS and a DSDV mesh.
 
     The resilience macro: both halves take a seeded beating mid-run and
@@ -605,6 +718,9 @@ def fault_storm(scale: float = 1.0, *, seed: int = 37,
     sim.schedule_at(2.0, _mark_bss, "bss_post_lo")
     if check_invariants:
         _install_checker(sim, bss.medium)
+    bss_hub = _install_telemetry(
+        sim, bss.medium, enabled=telemetry,
+        macs=[bss.ap.mac] + [station.mac for station in bss.stations])
     bss_horizon = 2.0 + 1.0 * scale
     sim.run(until=bss_horizon)
     bss_events = sim.events_executed
@@ -654,6 +770,11 @@ def fault_storm(scale: float = 1.0, *, seed: int = 37,
     sim.schedule_at(2.2, _mark_mesh, "mesh_post_lo")
     if check_invariants:
         _install_checker(sim, grid.medium, meshes=(grid.nodes,))
+    # The shared fault log rides the mesh hub (complete by the time it
+    # finishes), folding the whole storm into ``downtime`` spans.
+    mesh_hub = _install_telemetry(
+        sim, grid.medium, enabled=telemetry,
+        macs=[node.station.mac for node in grid.nodes], fault_log=log)
     mesh_horizon = 2.2 + 1.0 * scale
     sim.run(until=mesh_horizon)
     mesh_events = sim.events_executed
@@ -662,7 +783,7 @@ def fault_storm(scale: float = 1.0, *, seed: int = 37,
         / (1.0 * scale)
 
     trace = log.to_jsonl()
-    return {
+    result = {
         "work": bss_events + mesh_events,
         "work_unit": "events",
         "sim_seconds": bss_horizon + mesh_horizon,
@@ -689,9 +810,13 @@ def fault_storm(scale: float = 1.0, *, seed: int = 37,
         # tests byte-compare it across seeded runs.
         "fault_trace": trace,
     }
+    if telemetry:
+        result.update(_telemetry_extras([bss_hub, mesh_hub]))
+    return result
 
 
-def wep_audit(scale: float = 1.0, *, seed: int = 0) -> Dict[str, Any]:
+def wep_audit(scale: float = 1.0, *, seed: int = 0,
+              telemetry: bool = False) -> Dict[str, Any]:
     """FMS key recovery against a live WEP cipher.
 
     The security-suite macro-benchmark: KSA/PRGA block crypt and the
@@ -702,7 +827,7 @@ def wep_audit(scale: float = 1.0, *, seed: int = 0) -> Dict[str, Any]:
     key = b"\x13\x37\xbe\xef\x42"
     recovered, frames = crack_wep(WepCipher(key), max_frames=budget,
                                   check_every=1 << 21)
-    return {
+    result = {
         "work": frames,
         "work_unit": "frames",
         "sim_seconds": 0.0,
@@ -711,13 +836,27 @@ def wep_audit(scale: float = 1.0, *, seed: int = 0) -> Dict[str, Any]:
             "frames_needed": frames,
         },
     }
+    if telemetry:
+        # Non-DES macro: no kernel to sample, but the telemetry keys
+        # keep the macro surface uniform — a counter-only sim stream.
+        from repro.telemetry.export import summary_table, to_jsonl
+        from repro.telemetry.metrics import MetricsRegistry
+        registry = MetricsRegistry()
+        registry.counter("wep", "frames_sniffed").inc(frames)
+        registry.counter("wep", "key_recovered").inc(
+            1 if recovered == key else 0)
+        result["telemetry_jsonl"] = to_jsonl(registry, stream="sim")
+        result["telemetry_wall_jsonl"] = to_jsonl(registry, stream="wall")
+        result["telemetry_summary"] = summary_table(registry)
+    return result
 
 
 #: name -> scenario callable; the harness and the perf tests iterate this.
 def city_scale(scale: float = 1.0, *, seed: int = 41,
                bss_count: int = 24, stations_per_bss: int = 8,
                workers: int = 4,
-               check_invariants: bool = False) -> Dict[str, Any]:
+               check_invariants: bool = False,
+               telemetry: bool = False) -> Dict[str, Any]:
     """Tens of saturated BSSes on a city grid, run sharded.
 
     The sharded-executor headline macro: 24 cells (parameterizable to
@@ -738,9 +877,10 @@ def city_scale(scale: float = 1.0, *, seed: int = 41,
     result = run_sharded(cells, seed=seed, horizon=horizon,
                          workers=workers,
                          propagation_factory=scenarios.city_propagation,
-                         check_invariants=check_invariants)
+                         check_invariants=check_invariants,
+                         telemetry=telemetry)
     per_cell = result["cells"]
-    return {
+    out = {
         "work": result["events"],
         "work_unit": "events",
         "sim_seconds": horizon,
@@ -757,20 +897,30 @@ def city_scale(scale: float = 1.0, *, seed: int = 41,
         },
         "arrival_log": result["arrival_log"],
     }
+    if telemetry:
+        out["telemetry_jsonl"] = result["telemetry_jsonl"]
+        out["telemetry_wall_jsonl"] = result["telemetry_wall_jsonl"]
+        out["telemetry_summary"] = {
+            "merged": True, "shards": result["shards"],
+            "lines": result["telemetry_jsonl"].count("\n"),
+        }
+    return out
 
 
 def city_scale_1p(scale: float = 1.0, *, seed: int = 41,
                   bss_count: int = 24, stations_per_bss: int = 8,
-                  check_invariants: bool = False) -> Dict[str, Any]:
+                  check_invariants: bool = False,
+                  telemetry: bool = False) -> Dict[str, Any]:
     """The `city_scale` scenario on one kernel (differential reference)."""
     cells = scenarios.build_city_cells(bss_count=bss_count,
                                        stations_per_bss=stations_per_bss)
     horizon = 0.1 + 0.4 * scale
     result = run_single(cells, seed=seed, horizon=horizon,
                         propagation_factory=scenarios.city_propagation,
-                        check_invariants=check_invariants)
+                        check_invariants=check_invariants,
+                        telemetry=telemetry)
     per_cell = result["cells"]
-    return {
+    out = {
         "work": result["events"],
         "work_unit": "events",
         "sim_seconds": horizon,
@@ -782,6 +932,14 @@ def city_scale_1p(scale: float = 1.0, *, seed: int = 41,
             "events": result["events"],
         },
     }
+    if telemetry:
+        out["telemetry_jsonl"] = result["telemetry_jsonl"]
+        out["telemetry_wall_jsonl"] = result["telemetry_wall_jsonl"]
+        out["telemetry_summary"] = {
+            "merged": False,
+            "lines": result["telemetry_jsonl"].count("\n"),
+        }
+    return out
 
 
 MACROS: Dict[str, Callable[..., Dict[str, Any]]] = {

@@ -247,6 +247,17 @@ class Simulator:
         """
         return self._scheduled - self._events_executed - self._cancelled_events
 
+    @property
+    def heap_depth(self) -> int:
+        """Raw heap length, lazily-deleted entries included.
+
+        Differs from :attr:`pending_events` by the cancelled/superseded
+        entries still awaiting lazy deletion — the figure that matters
+        when heap memory or heappush cost is the question (telemetry
+        samples it as ``kernel/heap_depth``).
+        """
+        return len(self._heap)
+
     # --- scheduling ------------------------------------------------------
 
     def schedule(self, delay: float, callback: Callable[..., None],

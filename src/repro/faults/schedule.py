@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..core.engine import Simulator, Timer
 from ..core.errors import ConfigurationError
@@ -59,6 +59,36 @@ class FaultLog:
 
     def to_jsonl(self) -> str:
         return "\n".join(record.to_json() for record in self.records)
+
+    def downtime_spans(self, horizon: Optional[float] = None
+                       ) -> List[tuple]:
+        """Pair crash/restart records into per-target downtime windows.
+
+        Returns ``(target, start, end)`` tuples: one per crash/restart
+        pair (in restart order), then one per target still down at the
+        end of the log (in crash order) with ``end=None``.  A repeated
+        crash of an already-down target extends nothing — the first
+        crash opened the window.  ``horizon`` is accepted for symmetry
+        with the analysis helpers but unrestored windows stay open
+        (``end=None``) so consumers can distinguish "restored at t" from
+        "still down at the horizon"; pass the figure on to
+        :func:`repro.analysis.resilience.downtime_windows` or
+        :func:`repro.telemetry.probes.record_fault_spans` to close them.
+        """
+        del horizon  # see docstring: open windows stay open here
+        open_at: Dict[str, float] = {}
+        spans: List[tuple] = []
+        for record in self.records:
+            if record.action == "crash":
+                if record.target not in open_at:
+                    open_at[record.target] = record.time
+            elif record.action == "restart":
+                start = open_at.pop(record.target, None)
+                if start is not None:
+                    spans.append((record.target, start, record.time))
+        for target, start in open_at.items():
+            spans.append((target, start, None))
+        return spans
 
     def __len__(self) -> int:
         return len(self.records)

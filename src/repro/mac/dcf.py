@@ -165,7 +165,7 @@ class DcfMac:
                  "_countdown_anchor", "_countdown_remaining", "_response",
                  "_pending_send", "_tx_continuation", "_awaiting",
                  "_use_eifs", "_basic_mode", "_standard", "_slot_time",
-                 "_address_value")
+                 "_address_value", "_frame_probe")
 
     def __init__(self, sim: Simulator, radio: Radio, address: MacAddress,
                  config: Optional[DcfConfig] = None,
@@ -179,6 +179,11 @@ class DcfMac:
         self.listener: MacListener = MacListener()
         #: Promiscuous tap: called with every successfully decoded frame.
         self.sniffer: Optional[Callable[[Dot11Frame, float], None]] = None
+        #: Frame-lifecycle telemetry hook (see repro.telemetry.spans):
+        #: called with (event, msdu) at enqueue/tx/retry/delivered/
+        #: dropped edges, and (event, frame) at rx.  One `is not None`
+        #: test per edge when unset — the zero-overhead contract.
+        self._frame_probe: Optional[Callable[[str, Any], None]] = None
         #: BSSID this MAC stamps into data/management frames (set by the
         #: association layer; defaults to our own address, i.e. IBSS-style).
         self.bssid: MacAddress = address
@@ -300,6 +305,9 @@ class DcfMac:
         if not accepted:
             self.counters.incr("queue_drops")
             return False
+        probe = self._frame_probe
+        if probe is not None:
+            probe("enqueue", msdu)
         if self._current is None:
             self._begin_contention(draw_backoff=False)
         return True
@@ -585,6 +593,9 @@ class DcfMac:
         ctx.attempts += 1
         self.counters.incr("tx_data")
         self.counters.incr("tx_data_bytes", frame.wire_size_bytes())
+        probe = self._frame_probe
+        if probe is not None:
+            probe("tx", ctx.msdu)
         if ctx.is_broadcast:
             self._transmit_frame(frame, mode,
                                  continuation=self._after_broadcast_tx)
@@ -749,6 +760,9 @@ class DcfMac:
     def _receive_data(self, frame: Dot11Frame, snr_db: float,
                       broadcast: bool) -> None:
         self.counters.incr("rx_data")
+        probe = self._frame_probe
+        if probe is not None:
+            probe("rx", frame)
         if not broadcast:
             self._schedule_response(make_ack(frame.transmitter))
         if frame.transmitter is None:
@@ -834,6 +848,9 @@ class DcfMac:
                 return
             # A retransmitted fragment burst re-arms RTS protection.
             ctx.cts_received = False
+        probe = self._frame_probe
+        if probe is not None:
+            probe("retry", ctx.msdu)
         self._backoff_remaining = self.backoff.draw()
         self._maybe_start_ifs()
 
@@ -844,6 +861,9 @@ class DcfMac:
         self.backoff.on_success() if success else self.backoff.reset()
         if ctx is not None:
             self.counters.incr("msdu_delivered" if success else "msdu_dropped")
+            probe = self._frame_probe
+            if probe is not None:
+                probe("delivered" if success else "dropped", ctx.msdu)
             self.listener.mac_tx_complete(ctx.msdu, success)
         # Post-transmission backoff before the next queued MSDU.
         self._begin_contention(draw_backoff=True)

@@ -42,6 +42,7 @@ import hashlib
 import itertools
 import json
 import multiprocessing
+from time import perf_counter
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.engine import Simulator
@@ -51,6 +52,8 @@ from ..faults.invariants import InvariantChecker
 from ..mac.addresses import MacAddress
 from ..phy.channel import Medium
 from ..phy.propagation import PropagationModel
+from ..telemetry.metrics import MetricsRegistry
+from ..telemetry.probes import Telemetry
 from .partition import CellSpec, ShardPlan, partition_cells
 from .shard import BoundaryRecord, ShardMedium
 
@@ -158,12 +161,19 @@ def run_single(cells, *, seed: int, horizon: float,
                reception_floor_dbm: float = -110.0,
                propagation_delay: bool = True,
                exact: bool = True,
-               check_invariants: bool = False) -> Dict:
+               check_invariants: bool = False,
+               telemetry: bool = False,
+               telemetry_interval: float = 0.05) -> Dict:
     """Run every cell on one kernel — the differential reference.
 
     ``propagation_factory`` (not a model instance) keeps the signature
     symmetric with :func:`run_sharded`, where each worker must build
     its own model; stateless models make the two bit-comparable.
+
+    ``telemetry=True`` instruments the kernel, medium and radio fleet
+    (see :mod:`repro.telemetry`) and adds ``telemetry_jsonl`` /
+    ``telemetry_wall_jsonl`` streams to the result.  Sampler events
+    ride the heap, so ``events`` grows — protocol outcomes do not.
     """
     ordered = tuple(sorted(cells, key=lambda cell: cell.name))
     sim = Simulator(seed=seed, trace=TraceLog(enabled=False))
@@ -178,26 +188,46 @@ def run_single(cells, *, seed: int, horizon: float,
                               checker)
     if checker is not None:
         checker.install()
+    hub = Telemetry(sim, enabled=telemetry,
+                    sample_interval=telemetry_interval)
+    hub.instrument_kernel()
+    hub.instrument_medium(medium)
+    hub.instrument_radios(medium._radios)
+    hub.install()
     sim.run(until=horizon)
-    return {
+    hub.finish()
+    result = {
         "cells": {name: collectors[name]() for name in sorted(collectors)},
         "events": sim.events_executed,
     }
+    if telemetry:
+        result["telemetry_jsonl"] = hub.sim_jsonl()
+        result["telemetry_wall_jsonl"] = hub.wall_jsonl()
+    return result
 
 
 def _worker_main(conn, shard_index: int, shard_cells, global_indices,
                  export_channels, seed: int, horizon: float,
                  propagation_factory, reception_floor_dbm: float,
                  propagation_delay: bool, exact: bool,
-                 check_invariants: bool) -> None:
+                 check_invariants: bool, telemetry: bool = False,
+                 telemetry_interval: float = 0.05) -> None:
     """One shard's event loop, driven by coordinator messages.
 
     Protocol (worker side): after building, send ``("ready", shard)``;
     then for each ``("advance", bound, records)`` inject the records,
     run to the bound, and fence back
     ``("fence", shard, clock, events, outbox)``; on ``("finish",)``
-    send ``("stats", shard, {cell: stats}, events)`` and exit.  Any
-    exception turns into ``("error", shard, message)``.
+    send ``("stats", shard, {cell: stats}, events, telemetry)`` —
+    where ``telemetry`` is ``None`` or a ``(sim_jsonl, wall_jsonl)``
+    pair of this shard's exported streams — and exit.  Any exception
+    turns into ``("error", shard, message)``.
+
+    With telemetry on, the worker instruments its own kernel/medium/
+    radio fleet and additionally keeps per-shard round metrics in the
+    sim stream (``parallel/advances``, ``parallel/boundary_injected``
+    — both pure functions of the deterministic round schedule) and
+    busy/idle wall seconds in the wall stream.
     """
     try:
         sim = Simulator(seed=seed, trace=TraceLog(enabled=False))
@@ -214,6 +244,23 @@ def _worker_main(conn, shard_index: int, shard_cells, global_indices,
                                   global_indices, checker)
         if checker is not None:
             checker.install()
+        hub = Telemetry(sim, enabled=telemetry,
+                        sample_interval=telemetry_interval)
+        hub.instrument_kernel()
+        hub.instrument_medium(medium)
+        hub.instrument_radios(medium._radios)
+        # Disabled registry hands back null metrics: the per-round
+        # inc() calls below are no-ops in benchmark posture.
+        advances = hub.registry.counter("parallel", "advances",
+                                        shard=shard_index)
+        injected = hub.registry.counter("parallel", "boundary_injected",
+                                        shard=shard_index)
+        hub.sampler.add("parallel", "outbox_depth",
+                        lambda: float(len(medium.outbox)),
+                        shard=shard_index)
+        hub.install()
+        busy = 0.0
+        wall_start = perf_counter()
         conn.send(("ready", shard_index))
         while True:
             message = conn.recv()
@@ -222,15 +269,33 @@ def _worker_main(conn, shard_index: int, shard_cells, global_indices,
                 _, bound, records = message
                 for record in records:
                     medium.inject_boundary(BoundaryRecord(*record))
-                sim.run(until=bound)
+                advances.inc()
+                injected.inc(len(records))
+                if telemetry:
+                    segment_start = perf_counter()
+                    sim.run(until=bound)
+                    busy += perf_counter() - segment_start
+                else:
+                    sim.run(until=bound)
                 conn.send(("fence", shard_index, sim.now,
                            sim.events_executed,
                            [tuple(r) for r in medium.drain_outbox()]))
             elif kind == "finish":
                 stats = {name: collector()
                          for name, collector in collectors.items()}
+                payload = None
+                if telemetry:
+                    registry = hub.registry
+                    registry.gauge("parallel", "worker_busy_seconds",
+                                   wall=True, shard=shard_index).set(busy)
+                    registry.gauge(
+                        "parallel", "worker_idle_seconds", wall=True,
+                        shard=shard_index).set(
+                            max(0.0, perf_counter() - wall_start - busy))
+                    hub.finish()
+                    payload = (hub.sim_jsonl(), hub.wall_jsonl())
                 conn.send(("stats", shard_index, stats,
-                           sim.events_executed))
+                           sim.events_executed, payload))
                 conn.close()
                 return
             else:  # pragma: no cover - protocol guard
@@ -241,6 +306,29 @@ def _worker_main(conn, shard_index: int, shard_cells, global_indices,
             conn.send(("error", shard_index, f"{type(exc).__name__}: {exc}"))
         except Exception:  # pragma: no cover - pipe already gone
             pass
+
+
+def _merge_telemetry(stream: str, coordinator_text: str,
+                     shard_texts: Sequence[str]) -> str:
+    """Merge coordinator + per-shard telemetry streams, pinned order.
+
+    One merged JSONL document: a ``merged`` header, then the
+    coordinator's stream, then every shard's stream in shard-index
+    order, each behind a ``source`` marker line.  Every component is
+    canonical (sorted keys, ``repr`` floats) and the concatenation
+    order is pinned, so the merged sim stream is byte-identical
+    run-to-run — the sharded determinism gate compares exactly this.
+    """
+    dump = ArrivalLog._dump
+    lines = [dump({"type": "merged", "stream": stream,
+                   "shards": len(shard_texts)}),
+             dump({"type": "source", "source": "coordinator"}),
+             coordinator_text.rstrip("\n")]
+    for index, text in enumerate(shard_texts):
+        lines.append(dump({"type": "source", "source": "shard",
+                           "shard": index}))
+        lines.append(text.rstrip("\n"))
+    return "\n".join(lines) + "\n"
 
 
 def _recv(conn, shard: int):
@@ -262,7 +350,9 @@ def run_sharded(cells, *, seed: int, horizon: float, workers: int,
                 exact: bool = True,
                 check_invariants: bool = False,
                 manual: Optional[Mapping[str, int]] = None,
-                lookahead_override: Optional[float] = None) -> Dict:
+                lookahead_override: Optional[float] = None,
+                telemetry: bool = False,
+                telemetry_interval: float = 0.05) -> Dict:
     """Run the cells sharded across worker processes.
 
     Returns the :func:`run_single` result shape plus the sharding
@@ -273,6 +363,21 @@ def run_sharded(cells, *, seed: int, horizon: float, workers: int,
     ``lookahead_override`` replaces every derived cross-shard lookahead
     (test/diagnostics knob — an overstated value trips the boundary
     lookahead-violation guard, which is exactly what its test does).
+
+    ``telemetry=True`` instruments every worker (kernel/medium/radio
+    probes plus per-shard round metrics) and the coordinator itself
+    (round count, boundary-batch sizes, lookahead windows in the sim
+    stream; per-round and per-worker wall seconds in the wall stream),
+    then merges the per-shard sim streams in pinned shard-index order
+    — ``telemetry_jsonl`` is byte-identical across runs of the same
+    seed and partition.  Wall streams merge into
+    ``telemetry_wall_jsonl``, which is machine noise and never gated.
+
+    Note the sampler's events are real kernel events: per-shard event
+    counts (and therefore the arrival log's fences and its SHA-1)
+    differ from an uninstrumented run — but stay byte-identical across
+    instrumented runs of the same configuration.  Protocol outcomes
+    (per-cell stats) never change.
     """
     plan = partition_cells(cells, propagation_factory(), workers=workers,
                            reception_floor_dbm=reception_floor_dbm,
@@ -296,6 +401,16 @@ def run_sharded(cells, *, seed: int, horizon: float, workers: int,
         "shard_count": shard_count, "exact": exact,
         "partition": plan.describe(),
     })
+    # Coordinator-side metrics.  Disabled registry = null metrics, so
+    # the per-round updates below cost nothing in benchmark posture.
+    coord = MetricsRegistry(enabled=telemetry)
+    round_counter = coord.counter("parallel", "rounds")
+    record_counter = coord.counter("parallel", "boundary_records")
+    batch_sizes = coord.histogram("parallel", "boundary_batch")
+    round_wall = coord.histogram(
+        "parallel", "round_wall_seconds", wall=True,
+        bounds=(0.0001, 0.001, 0.01, 0.1, 1.0, 10.0))
+    coordinator_start = perf_counter()
     try:
         for index, shard_cells in enumerate(plan.shards):
             parent_conn, child_conn = context.Pipe(duplex=True)
@@ -305,7 +420,8 @@ def run_sharded(cells, *, seed: int, horizon: float, workers: int,
                 args=(child_conn, index, shard_cells, indices,
                       plan.export_channels[index], seed, horizon,
                       propagation_factory, reception_floor_dbm,
-                      propagation_delay, exact, check_invariants),
+                      propagation_delay, exact, check_invariants,
+                      telemetry, telemetry_interval),
                 daemon=True)
             process.start()
             child_conn.close()
@@ -322,11 +438,20 @@ def run_sharded(cells, *, seed: int, horizon: float, workers: int,
         if lookahead_override is not None:
             incoming = [{src: lookahead_override for src in sources}
                         for sources in incoming]
+        if telemetry:
+            # The lookahead windows are part of the partition, hence
+            # of the sim-deterministic stream.
+            for dst in range(shard_count):
+                for src in sorted(incoming[dst]):
+                    coord.gauge("parallel", "lookahead_seconds",
+                                src=src, dst=dst).set(incoming[dst][src])
         merge_tail: Dict[int, Tuple[float, int]] = {}
         rounds = 0
         boundary_records = 0
         while not all(done):
             rounds += 1
+            round_counter.inc()
+            round_start = perf_counter()
             advancing = []
             for index in range(shard_count):
                 if done[index]:
@@ -357,6 +482,8 @@ def run_sharded(cells, *, seed: int, horizon: float, workers: int,
                     done[shard] = True
             batch.sort()  # (time, shard, seq) is the tuple prefix
             InvariantChecker.check_merge_order(batch, merge_tail)
+            batch_sizes.observe(float(len(batch)))
+            record_counter.inc(len(batch))
             for record in batch:
                 boundary_records += 1
                 dests = plan.routes.get((record.shard, record.channel), ())
@@ -364,16 +491,20 @@ def run_sharded(cells, *, seed: int, horizon: float, workers: int,
                 log.arrival(record, live)
                 for dest in live:
                     pending[dest].append(tuple(record))
+            round_wall.observe(perf_counter() - round_start)
 
         for index, conn in enumerate(connections):
             conn.send(("finish",))
         merged: Dict[str, Dict] = {}
+        shard_streams: List[Optional[Tuple[str, str]]] = \
+            [None] * shard_count
         for index, conn in enumerate(connections):
             message = _recv(conn, index)
-            _, shard, stats, executed = message
+            _, shard, stats, executed, shard_telemetry = message
             events[shard] = executed
             log.final(shard, clocks[shard], executed)
             merged.update(stats)
+            shard_streams[shard] = shard_telemetry
         for process in processes:
             process.join(timeout=30)
     finally:
@@ -384,7 +515,7 @@ def run_sharded(cells, *, seed: int, horizon: float, workers: int,
         for conn in connections:
             conn.close()
 
-    return {
+    result = {
         "cells": {name: merged[name] for name in sorted(merged)},
         "events": sum(events),
         "shards": shard_count,
@@ -394,3 +525,14 @@ def run_sharded(cells, *, seed: int, horizon: float, workers: int,
         "arrival_log_sha1": log.sha1(),
         "plan": plan,
     }
+    if telemetry:
+        from ..telemetry.export import to_jsonl
+        coord.gauge("parallel", "coordinator_wall_seconds",
+                    wall=True).set(perf_counter() - coordinator_start)
+        result["telemetry_jsonl"] = _merge_telemetry(
+            "sim", to_jsonl(coord, stream="sim"),
+            [streams[0] for streams in shard_streams])
+        result["telemetry_wall_jsonl"] = _merge_telemetry(
+            "wall", to_jsonl(coord, stream="wall"),
+            [streams[1] for streams in shard_streams])
+    return result

@@ -222,6 +222,10 @@ class Medium:
                                                          ...]]] = {}
         self.plan_hits = 0
         self.plan_misses = 0
+        #: Cumulative count of plan-dropping topology changes (attach,
+        #: detach, retunes, moves, surgical per-sender drops).  All the
+        #: increments sit on cold invalidation paths.
+        self.plan_invalidations = 0
 
     def attach(self, radio: Radio) -> None:
         """Register a radio (called from the Radio constructor)."""
@@ -230,6 +234,7 @@ class Medium:
         self._radios.append(radio)
         self._by_channel.clear()
         self._plans.clear()
+        self.plan_invalidations += 1
 
     def detach(self, radio: Radio) -> None:
         """Unregister a radio (teardown, or permanent crash).
@@ -250,12 +255,14 @@ class Medium:
                 f"radio {radio.name} is not attached") from None
         self._by_channel.clear()
         self._plans.clear()
+        self.plan_invalidations += 1
         self.links.invalidate(radio)
 
     def invalidate_channels(self) -> None:
         """Drop the per-channel radio lists (a radio retuned)."""
         self._by_channel.clear()
         self._plans.clear()
+        self.plan_invalidations += 1
 
     def _channel_members(self, channel_id: int) -> List[Tuple[Radio, Any, Any]]:
         members = self._by_channel.get(channel_id)
@@ -285,7 +292,8 @@ class Medium:
         their retunes invalidate surgically through this hook instead
         of paying a global plan flush per frequency hop.
         """
-        self._plans.pop(sender, None)
+        if self._plans.pop(sender, None) is not None:
+            self.plan_invalidations += 1
 
     def invalidate_links(self, radio: Optional[Radio] = None) -> None:
         """Invalidate cached link budgets (all, or one radio's links).
@@ -302,6 +310,7 @@ class Medium:
         """
         self.links.invalidate(radio)
         self._plans.clear()
+        self.plan_invalidations += 1
 
     def radios_on_channel(self, channel_id: int) -> List[Radio]:
         return [radio for radio, _begins, _ends

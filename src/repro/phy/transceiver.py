@@ -93,7 +93,8 @@ class Radio:
                  "_locked_tracker", "_cca_busy", "_sim", "_rng", "_trace",
                  "_rx_timer", "_capture", "_snr_cache", "_exact",
                  "_tracker", "_incident_watts", "_edges_since_rebase",
-                 "_preamble_floor_watts", "_capture_ratio", "_tx_epoch")
+                 "_rebases", "_preamble_floor_watts", "_capture_ratio",
+                 "_tx_epoch")
 
     def __init__(self, name: str, medium: "Medium", standard: PhyStandard,
                  position: Position, channel_id: int = 1,
@@ -158,6 +159,9 @@ class Radio:
         self._incident_watts = 0.0
         self._tx_epoch = 0
         self._edges_since_rebase = 0
+        #: Cumulative drift-rebase count (telemetry: the fast-mode
+        #: accumulator health figure; `_edges_since_rebase` resets).
+        self._rebases = 0
         self._preamble_floor_watts = self._noise_watts * \
             10.0 ** (self.config.preamble_detection_snr_db / 10.0)
         self._capture_ratio = self._capture.threshold_ratio()
@@ -497,6 +501,7 @@ class Radio:
                 self._edges_since_rebase += 1
                 if self._edges_since_rebase >= 256:
                     self._edges_since_rebase = 0
+                    self._rebases += 1
                     self._incident_watts = sum(arrivals.values())
                 else:
                     total = self._incident_watts - power

@@ -1,0 +1,38 @@
+"""Unified observability: sim-time metrics, spans, probes, exporters.
+
+Quick start::
+
+    telemetry = Telemetry(sim, enabled=True)
+    telemetry.instrument_kernel().instrument_medium(medium)
+    telemetry.instrument_macs(macs).instrument_radios(radios)
+    telemetry.install()
+    sim.run(until=horizon)
+    telemetry.finish()
+    print(telemetry.sim_jsonl())      # byte-identical run-to-run
+
+``Telemetry(sim, enabled=False)`` is the null hub: every probe
+short-circuits and the simulation runs the uninstrumented path
+byte-identically — the zero-overhead contract inherited from
+:class:`~repro.core.trace.TraceLog`.
+
+Sim-time metrics (the default) are part of the determinism contract;
+wall-clock metrics (``wall=True``) live in a separate stream that
+``tools/capture_golden.py`` and the perf regression gate never compare.
+"""
+
+from .export import (parse_jsonl, render_table, summary_table, to_jsonl,
+                     to_prometheus)
+from .metrics import (CounterMetric, GaugeMetric, HistogramMetric,
+                      MetricsRegistry, NULL_METRIC, PeriodicSampler,
+                      format_key, make_key)
+from .probes import (KernelDispatchProbe, MacFleetProbe, MediumProbe,
+                     RadioFleetProbe, Telemetry, record_fault_spans)
+from .spans import FrameSpanTracker, Span, SpanLog
+
+__all__ = [
+    "CounterMetric", "FrameSpanTracker", "GaugeMetric", "HistogramMetric",
+    "KernelDispatchProbe", "MacFleetProbe", "MediumProbe", "MetricsRegistry",
+    "NULL_METRIC", "PeriodicSampler", "RadioFleetProbe", "Span", "SpanLog",
+    "Telemetry", "format_key", "make_key", "parse_jsonl", "record_fault_spans",
+    "render_table", "summary_table", "to_jsonl", "to_prometheus",
+]

@@ -1,0 +1,95 @@
+"""teleview's stream loader and ASCII renderers (plain and merged)."""
+
+import pathlib
+import sys
+
+from repro.telemetry.export import to_jsonl
+from repro.telemetry.metrics import MetricsRegistry, make_key
+from repro.telemetry.spans import Span, SpanLog
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[2]
+                       / "tools"))
+
+import teleview  # noqa: E402
+
+
+def _stream():
+    registry = MetricsRegistry()
+    registry.counter("mac", "frames").inc(42)
+    registry.gauge("kernel", "heap").set(7.0)
+    key = make_key("kernel", "heap", {})
+    for step in range(10):
+        registry.record_sample(key, step * 0.1, float(step))
+    spans = SpanLog()
+    spans.record(Span("frame", "sta0", 0.0, end=0.5, outcome="delivered",
+                      attrs={"attempts": 1, "retries": 0}))
+    spans.record(Span("frame", "sta1", 0.0, end=2.0, outcome="delivered",
+                      attrs={"attempts": 3, "retries": 2}))
+    return to_jsonl(registry, spans=spans)
+
+
+class TestLoadStream:
+    def test_splits_metrics_series_spans(self):
+        data = teleview.load_stream(_stream())
+        assert len(data["metrics"]) == 2
+        assert data["series_order"] == ["kernel/heap"]
+        assert len(data["series"]["kernel/heap"]) == 10
+        assert len(data["spans"]) == 2
+        assert data["sources"] == 0
+
+    def test_merged_stream_scopes_series_by_source(self):
+        merged = "\n".join([
+            '{"type":"merged","stream":"sim","shards":1}',
+            '{"type":"source","source":"coordinator"}',
+            '{"type":"header","stream":"sim","version":1}',
+            '{"type":"sample","subsystem":"parallel","name":"rounds",'
+            '"labels":{},"t":"0.1","v":"1"}',
+            '{"type":"source","source":"shard","shard":0}',
+            '{"type":"header","stream":"sim","version":1}',
+            '{"type":"sample","subsystem":"kernel","name":"heap",'
+            '"labels":{},"t":"0.1","v":"5"}',
+        ]) + "\n"
+        data = teleview.load_stream(merged)
+        assert data["series_order"] \
+            == ["coordinator:parallel/rounds", "shard0:kernel/heap"]
+        assert data["sources"] == 2
+
+
+class TestRender:
+    def test_timeline_normalizes_min_to_max(self):
+        rows = [(float(step), float(step)) for step in range(10)]
+        strip = teleview.render_timeline(rows, width=10)
+        assert len(strip) == 10
+        assert strip[0] == " " and strip[-1] == "@"
+
+    def test_constant_nonzero_series_renders_bright(self):
+        rows = [(0.0, 5.0), (1.0, 5.0)]
+        assert set(teleview.render_timeline(rows, width=4)) <= {"@", " "}
+
+    def test_render_stream_sections(self):
+        text = teleview.render_stream(_stream(), width=20, top=5)
+        assert "metrics (top 5 by magnitude)" in text
+        assert "mac/frames" in text
+        assert "timelines (1 series, width 20)" in text
+        assert "spans" in text
+        assert "slowest 2 closed spans" in text
+        assert "sta1" in text
+
+    def test_grep_filters_and_elides_spans(self):
+        text = teleview.render_stream(_stream(), grep="kernel/")
+        assert "kernel/heap" in text
+        assert "mac/frames" not in text
+        assert "slowest" not in text
+
+    def test_no_match_message(self):
+        assert teleview.render_stream(_stream(), grep="nope") \
+            == "no matching telemetry records\n"
+
+
+class TestCli:
+    def test_main_renders_file(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        path.write_text(_stream())
+        assert teleview.main([str(path), "--width", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "timelines" in out

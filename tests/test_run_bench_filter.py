@@ -19,7 +19,7 @@ def select(argv):
     captured = {}
 
     def fake_run_full(names, scale, repeats, out_dir, profile=False,
-                      timeout=0.0, jobs=1):
+                      timeout=0.0, jobs=1, telemetry=False):
         captured["names"] = list(names)
         return 0
 

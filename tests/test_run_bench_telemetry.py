@@ -1,0 +1,77 @@
+"""run_bench's --telemetry flag: --check exclusion, the non-gated
+record key, and the --profile sidecar."""
+
+import pathlib
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+import run_bench  # noqa: E402
+
+
+def _stub_scenario(scale, telemetry=False):
+    result = {"work": 10, "work_unit": "frames", "sim_seconds": 1.0,
+              "stats": {"delivered": 10}}
+    if telemetry:
+        result["telemetry_jsonl"] = '{"type":"header"}\n'
+        result["telemetry_wall_jsonl"] = '{"type":"header"}\n'
+        result["telemetry_summary"] = {"columns": [], "rows": []}
+    return result
+
+
+@pytest.fixture
+def stubbed_macros(monkeypatch):
+    monkeypatch.setitem(run_bench.MACROS, "stub_tele", _stub_scenario)
+    return "stub_tele"
+
+
+class TestCheckExclusion:
+    def test_telemetry_with_check_is_an_argparse_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            run_bench.main(["--telemetry", "--check"])
+        assert excinfo.value.code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_telemetry_alone_is_accepted(self, stubbed_macros, tmp_path):
+        code = run_bench.main(["--only", stubbed_macros, "--repeat", "1",
+                               "--telemetry", "--out-dir", str(tmp_path)])
+        assert code == 0
+
+
+class TestRecordKey:
+    def test_telemetry_summary_rides_a_non_gated_key(self, stubbed_macros):
+        status, record = run_bench.time_scenario_guarded(
+            stubbed_macros, 1.0, repeats=1, telemetry=True)
+        assert status == "ok"
+        assert record["telemetry"] == {"columns": [], "rows": []}
+        # The BENCH schema the gate reads is untouched.
+        assert record["work"] == 10
+        assert "telemetry_jsonl" not in record
+
+    def test_without_flag_no_telemetry_key(self, stubbed_macros):
+        status, record = run_bench.time_scenario_guarded(
+            stubbed_macros, 1.0, repeats=1)
+        assert status == "ok"
+        assert "telemetry" not in record
+
+
+class TestProfileSidecar:
+    def test_profile_writes_full_profile_next_to_bench_json(
+            self, stubbed_macros, tmp_path):
+        code = run_bench.run_full([stubbed_macros], 1.0, 1, tmp_path,
+                                  profile=True)
+        assert code == 0
+        sidecar = tmp_path / f"BENCH_{stubbed_macros}.profile.txt"
+        assert sidecar.exists()
+        text = sidecar.read_text()
+        assert "cumulative" in text
+        assert "_stub_scenario" in text or "function calls" in text
+
+    def test_no_profile_no_sidecar(self, stubbed_macros, tmp_path):
+        code = run_bench.run_full([stubbed_macros], 1.0, 1, tmp_path)
+        assert code == 0
+        assert not (tmp_path / f"BENCH_{stubbed_macros}.profile.txt").exists()

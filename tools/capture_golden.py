@@ -69,7 +69,8 @@ def select_macros(patterns: Optional[Sequence[str]],
 
 
 def capture_macros(out_dir: pathlib.Path, scale: float,
-                   names: Optional[Sequence[str]] = None) -> None:
+                   names: Optional[Sequence[str]] = None,
+                   telemetry: bool = False) -> None:
     from perf import macro as macro_mod
     from repro.core.engine import Simulator
     from repro.core.trace import TraceLog
@@ -86,7 +87,7 @@ def capture_macros(out_dir: pathlib.Path, scale: float,
         names = CAPTURABLE_MACROS
     macro_mod._perf_simulator = traced_simulator
     for name in [n for n in names if n in TRACED_MACROS]:
-        result = macro_mod.MACROS[name](scale)
+        result = macro_mod.MACROS[name](scale, telemetry=telemetry)
         sim = captured["sim"]
         lines = [
             f"{record.time!r} {record.source} {record.event} "
@@ -96,16 +97,23 @@ def capture_macros(out_dir: pathlib.Path, scale: float,
         ]
         (out_dir / f"{name}.trace").write_text("\n".join(lines) + "\n")
         # Strip instrumentation counters along with the kernel event
-        # count: cache/plan hit ratios are implementation diagnostics,
-        # not protocol outcomes, and legitimately change when a perf PR
-        # restructures the caching (the traces above are the
-        # bit-identity contract).
+        # count: cache/plan hit ratios, telemetry accumulators and the
+        # like are implementation diagnostics, not protocol outcomes,
+        # and legitimately change when a perf PR restructures the
+        # caching (the traces above are the bit-identity contract).
         stats = {key: value for key, value in result["stats"].items()
                  if key != "events"
-                 and not key.startswith(("link_cache", "fanout_"))}
+                 and not key.startswith(("link_cache", "fanout_",
+                                         "telemetry"))}
         stats["protocol_events"] = len(lines)
         (out_dir / f"{name}.stats.json").write_text(
             json.dumps(stats, indent=2, sort_keys=True) + "\n")
+        if telemetry:
+            # Sim-time stream only: it's part of the determinism
+            # contract and diffs byte-for-byte; the wall stream is
+            # machine noise and would break ``diff -r``.
+            (out_dir / f"{name}.telemetry.jsonl").write_text(
+                result["telemetry_jsonl"])
         print(f"{name:20s} {len(lines):8d} trace lines -> {out_dir}")
     if "wep_audit" in names:
         # wep_audit: stats only (pure computation, no event trace).
@@ -147,13 +155,19 @@ def main(argv=None) -> int:
                              "nothing is an error)")
     parser.add_argument("--fixture", action="store_true",
                         help="regenerate the committed tie-break fixture")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="run the traced macros with telemetry armed and "
+                             "additionally capture each sim-time stream as "
+                             "<macro>.telemetry.jsonl (the wall stream is "
+                             "machine noise and is never captured)")
     args = parser.parse_args(argv)
     if not args.fixture and args.out_dir is None:
         parser.error("need an out_dir (or --fixture)")
     if args.out_dir is not None:
         names = select_macros(args.only, parser.error)
         args.out_dir.mkdir(parents=True, exist_ok=True)
-        capture_macros(args.out_dir, args.scale, names)
+        capture_macros(args.out_dir, args.scale, names,
+                       telemetry=args.telemetry)
     if args.fixture:
         capture_fixture()
     return 0

@@ -15,8 +15,16 @@ Usage::
 
     # Embed a cProfile top-10 (cumulative) per scenario in the BENCH
     # JSON, from one extra untimed run, so perf PRs can cite where the
-    # remaining time goes:
+    # remaining time goes.  The full profile additionally lands in a
+    # standalone BENCH_<name>.profile.txt sidecar next to the JSON:
     PYTHONPATH=src python tools/run_bench.py --profile
+
+    # Run with the telemetry subsystem armed: each scenario gets the
+    # repro.telemetry probes/sampler and the BENCH record gains a
+    # "telemetry" summary key (informational — the regression gate
+    # never reads it).  Mutually exclusive with --check, which must
+    # measure the production posture:
+    PYTHONPATH=src python tools/run_bench.py --telemetry
 
     # CI regression gate: reduced scale, compares work/sec against the
     # committed baseline, exits non-zero on a >25% regression.
@@ -74,23 +82,32 @@ sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 from perf.macro import MACROS  # noqa: E402
 
 
-def profile_scenario(name: str, scale: float,
-                     top: int = 10) -> List[Dict[str, Any]]:
+def profile_scenario(name: str, scale: float, top: int = 10,
+                     sidecar: Optional[pathlib.Path] = None,
+                     telemetry: bool = False) -> List[Dict[str, Any]]:
     """cProfile one extra (untimed) run; return the ``top`` functions by
     cumulative time.
 
     Embedded in the BENCH record so a perf PR can cite *where* the time
     went, not just how much of it there was.  The profiled run is
     separate from the timed repeats — profiling overhead (3-4x on this
-    workload) must never pollute the wall figures.
+    workload) must never pollute the wall figures.  With ``sidecar``,
+    the *full* cumulative profile is additionally written to that path
+    (a standalone text file, not part of the BENCH JSON).
     """
     scenario = MACROS[name]
     profiler = cProfile.Profile()
     profiler.enable()
-    scenario(scale)
+    scenario(scale, telemetry=True) if telemetry else scenario(scale)
     profiler.disable()
     stats = pstats.Stats(profiler)
     stats.sort_stats("cumulative")
+    if sidecar is not None:
+        import io
+        buffer = io.StringIO()
+        pstats.Stats(profiler, stream=buffer) \
+            .sort_stats("cumulative").print_stats()
+        sidecar.write_text(buffer.getvalue())
     rows: List[Dict[str, Any]] = []
     repo_prefix = str(REPO_ROOT) + "/"
     for func in stats.fcn_list[:top]:  # (file, line, name), sorted
@@ -107,19 +124,22 @@ def profile_scenario(name: str, scale: float,
 
 
 def time_scenario(name: str, scale: float, repeats: int,
-                  profile: bool = False) -> Dict[str, Any]:
+                  profile: bool = False, telemetry: bool = False,
+                  profile_dir: Optional[pathlib.Path] = None
+                  ) -> Dict[str, Any]:
     """Run one macro-scenario ``repeats`` times; return its bench record."""
     scenario = MACROS[name]
     walls = []
     result: Dict[str, Any] = {}
     first_stats: Optional[Dict[str, Any]] = None
+    kwargs = {"telemetry": True} if telemetry else {}
     for _ in range(repeats):
         gc_was_enabled = gc.isenabled()
         gc.collect()
         gc.disable()
         try:
             start = time.perf_counter()
-            result = scenario(scale)
+            result = scenario(scale, **kwargs)
             walls.append(time.perf_counter() - start)
         finally:
             if gc_was_enabled:
@@ -146,16 +166,26 @@ def time_scenario(name: str, scale: float, repeats: int,
         "work_per_sec_best": round(result["work"] / min(walls), 1),
         "stats": result["stats"],
     }
+    if telemetry:
+        # Informational only: the regression gate and the BENCH
+        # trajectory comparisons never read this key.
+        record["telemetry"] = result.get("telemetry_summary")
     if profile:
-        record["profile_top10_cumulative"] = profile_scenario(name, scale)
+        sidecar = (profile_dir / f"BENCH_{name}.profile.txt"
+                   if profile_dir is not None else None)
+        record["profile_top10_cumulative"] = profile_scenario(
+            name, scale, sidecar=sidecar, telemetry=telemetry)
     return record
 
 
 def _child_entry(conn, name: str, scale: float, repeats: int,
-                 profile: bool) -> None:
+                 profile: bool, telemetry: bool = False,
+                 profile_dir: Optional[pathlib.Path] = None) -> None:
     """Subprocess body for the per-scenario wall-clock timeout."""
     try:
-        record = time_scenario(name, scale, repeats, profile=profile)
+        record = time_scenario(name, scale, repeats, profile=profile,
+                               telemetry=telemetry,
+                               profile_dir=profile_dir)
         conn.send(("ok", record))
     except BaseException as exc:  # report, don't hang the parent
         conn.send(("error", f"{type(exc).__name__}: {exc}"))
@@ -164,7 +194,9 @@ def _child_entry(conn, name: str, scale: float, repeats: int,
 
 
 def time_scenario_guarded(name: str, scale: float, repeats: int,
-                          profile: bool = False, timeout: float = 0.0
+                          profile: bool = False, timeout: float = 0.0,
+                          telemetry: bool = False,
+                          profile_dir: Optional[pathlib.Path] = None
                           ) -> Tuple[str, Any]:
     """``time_scenario`` with an optional wall-clock cap.
 
@@ -178,11 +210,14 @@ def time_scenario_guarded(name: str, scale: float, repeats: int,
     ``("error", message)`` or ``("timeout", None)``.
     """
     if timeout <= 0:
-        return "ok", time_scenario(name, scale, repeats, profile=profile)
+        return "ok", time_scenario(name, scale, repeats, profile=profile,
+                                   telemetry=telemetry,
+                                   profile_dir=profile_dir)
     ctx = multiprocessing.get_context("fork")
     parent_conn, child_conn = ctx.Pipe(duplex=False)
     proc = ctx.Process(target=_child_entry,
-                       args=(child_conn, name, scale, repeats, profile))
+                       args=(child_conn, name, scale, repeats, profile,
+                             telemetry, profile_dir))
     proc.start()
     child_conn.close()
     try:
@@ -201,7 +236,9 @@ def time_scenario_guarded(name: str, scale: float, repeats: int,
 
 
 def iter_results(names, scale: float, repeats: int, profile: bool = False,
-                 timeout: float = 0.0, jobs: int = 1):
+                 timeout: float = 0.0, jobs: int = 1,
+                 telemetry: bool = False,
+                 profile_dir: Optional[pathlib.Path] = None):
     """Yield ``(name, status, payload)`` for every scenario, **in input
     order** regardless of completion order.
 
@@ -216,7 +253,9 @@ def iter_results(names, scale: float, repeats: int, profile: bool = False,
         for name in names:
             status, payload = time_scenario_guarded(name, scale, repeats,
                                                     profile=profile,
-                                                    timeout=timeout)
+                                                    timeout=timeout,
+                                                    telemetry=telemetry,
+                                                    profile_dir=profile_dir)
             yield name, status, payload
         return
     ctx = multiprocessing.get_context("fork")
@@ -234,7 +273,7 @@ def iter_results(names, scale: float, repeats: int, profile: bool = False,
             parent_conn, child_conn = ctx.Pipe(duplex=False)
             proc = ctx.Process(target=_child_entry,
                                args=(child_conn, name, scale, repeats,
-                                     profile))
+                                     profile, telemetry, profile_dir))
             proc.start()
             child_conn.close()
             deadline = time.monotonic() + timeout if timeout > 0 else None
@@ -283,11 +322,14 @@ def write_bench_json(record: Dict[str, Any], out_dir: pathlib.Path) -> pathlib.P
 
 def run_full(names, scale: float, repeats: int, out_dir: pathlib.Path,
              profile: bool = False, timeout: float = 0.0,
-             jobs: int = 1) -> int:
+             jobs: int = 1, telemetry: bool = False) -> int:
     failures = []
     for name, status, payload in iter_results(names, scale, repeats,
                                               profile=profile,
-                                              timeout=timeout, jobs=jobs):
+                                              timeout=timeout, jobs=jobs,
+                                              telemetry=telemetry,
+                                              profile_dir=out_dir
+                                              if profile else None):
         if status != "ok":
             reason = f"timed out after {timeout:g}s" \
                 if status == "timeout" else payload
@@ -408,9 +450,15 @@ def main(argv=None) -> int:
     parser.add_argument("--out-dir", type=pathlib.Path, default=REPO_ROOT,
                         help="where BENCH_*.json files go (default: repo root)")
     parser.add_argument("--profile", action="store_true",
-                        help="cProfile one extra (untimed) run per scenario "
-                             "and embed the top-10 cumulative functions in "
-                             "the emitted BENCH_*.json")
+                        help="cProfile one extra (untimed) run per scenario; "
+                             "embeds the top-10 cumulative functions in the "
+                             "emitted BENCH_*.json and writes the full "
+                             "profile to a BENCH_<name>.profile.txt sidecar")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="arm the repro.telemetry probes/sampler for "
+                             "every scenario and embed the telemetry summary "
+                             "under the (non-gated) 'telemetry' BENCH key; "
+                             "incompatible with --check")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="run up to N scenarios concurrently, each in "
                              "its own forked worker (the --timeout "
@@ -455,12 +503,15 @@ def main(argv=None) -> int:
         names = sorted(MACROS)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.telemetry and args.check:
+        parser.error("--telemetry is mutually exclusive with --check: the "
+                     "regression gate must measure the production posture")
     if args.check:
         return run_check(names, max(args.repeat, 3), args.update_baseline,
                          timeout=args.timeout, jobs=args.jobs)
     return run_full(names, args.scale, args.repeat, args.out_dir,
                     profile=args.profile, timeout=args.timeout,
-                    jobs=args.jobs)
+                    jobs=args.jobs, telemetry=args.telemetry)
 
 
 if __name__ == "__main__":
