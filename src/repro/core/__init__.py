@@ -1,7 +1,15 @@
 """Core discrete-event simulation kernel and shared utilities."""
 
 from .energy import EnergyMeter, PowerProfile
-from .engine import EventHandle, PeriodicTask, Simulator
+from .engine import (
+    KERNELS,
+    EventHandle,
+    PeriodicTask,
+    Simulator,
+    ckernel_available,
+    default_kernel,
+    resolve_kernel,
+)
 from .errors import (
     AuthenticationError,
     ConfigurationError,
@@ -38,6 +46,7 @@ __all__ = [
     "EventHandle",
     "FrameError",
     "IntegrityError",
+    "KERNELS",
     "LinkError",
     "ORIGIN",
     "PeriodicTask",
@@ -55,12 +64,15 @@ __all__ = [
     "TimeWeightedStat",
     "TraceLog",
     "TraceRecord",
+    "ckernel_available",
     "circle_layout",
+    "default_kernel",
     "grid_layout",
     "hexagonal_cell_centers",
     "jain_fairness",
     "line_layout",
     "nearest",
     "random_disc_layout",
+    "resolve_kernel",
     "units",
 ]

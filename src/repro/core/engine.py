@@ -39,6 +39,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+import os
 from typing import Any, Callable, List, Optional, Tuple
 
 from .errors import SchedulingError, SimulationError
@@ -47,6 +48,76 @@ from .trace import TraceLog
 
 _INF = math.inf
 _heappush = heapq.heappush
+
+#: Accepted values for ``Simulator(kernel=...)`` / ``REPRO_KERNEL``.
+KERNELS = ("auto", "python", "c")
+
+_ckernel: Optional[Any] = None
+_ckernel_checked = False
+
+
+def _load_ckernel() -> Optional[Any]:
+    """Import and bind the optional compiled kernel, once.
+
+    Returns the installed :mod:`repro.core._ckernel` module, or ``None``
+    when the extension is not built (the normal state on machines that
+    never ran ``tools/build_kernel.py``) or fails to bind against the
+    event classes.  The result is cached either way; a failed probe is
+    never retried within the process.
+    """
+    global _ckernel, _ckernel_checked
+    if _ckernel_checked:
+        return _ckernel
+    _ckernel_checked = True
+    try:
+        from . import _ckernel as ext  # type: ignore[attr-defined]
+    except ImportError:
+        return None
+    try:
+        ext.install(Timer, EventHandle, SimulationError)
+    except Exception:
+        # A built-but-incompatible extension (stale ABI, renamed slots)
+        # must degrade to the reference loop, not poison every run.
+        return None
+    _ckernel = ext
+    return ext
+
+
+def ckernel_available() -> bool:
+    """True when the compiled kernel is built and binds cleanly."""
+    return _load_ckernel() is not None
+
+
+def default_kernel() -> str:
+    """The kernel selected when ``Simulator(kernel=None)`` (the default):
+    the ``REPRO_KERNEL`` environment variable, or ``"auto"``."""
+    return os.environ.get("REPRO_KERNEL", "auto")
+
+
+def resolve_kernel(requested: Optional[str] = None) -> str:
+    """Resolve a kernel request to the concrete kernel that will run.
+
+    ``None`` reads :func:`default_kernel`.  ``"auto"`` resolves to
+    ``"c"`` when the extension is available, else ``"python"``.
+    ``"c"`` raises :class:`SimulationError` when the extension is not
+    built — an explicit request must not silently run the other kernel
+    (CI's ``REPRO_KERNEL=c`` lane relies on this to prove the compiled
+    path actually executed).
+    """
+    if requested is None:
+        requested = default_kernel()
+    if requested not in KERNELS:
+        raise SimulationError(
+            f"unknown kernel {requested!r}; expected one of {KERNELS}")
+    if requested == "python":
+        return "python"
+    if _load_ckernel() is not None:
+        return "c"
+    if requested == "c":
+        raise SimulationError(
+            "kernel='c' requested but repro.core._ckernel is not built "
+            "(run: python tools/build_kernel.py)")
+    return "python"
 
 
 class EventHandle:
@@ -203,16 +274,31 @@ class Simulator:
         results are NOT bit-compatible with exact mode.  The kernel
         itself (event ordering, tie-breaks, RNG streams) is identical in
         both profiles; only component-level float math is relaxed.
+    kernel:
+        Which run-loop implementation dispatches events.  ``"python"``
+        is the pure-Python reference loop; ``"c"`` is the compiled
+        :mod:`repro.core._ckernel` twin (bit-identical event sequence,
+        raises if the extension is not built); ``"auto"`` picks the
+        compiled loop when available.  ``None`` (the default) reads the
+        ``REPRO_KERNEL`` environment variable, falling back to
+        ``"auto"``.  The kernel choice never changes results — the two
+        loops are byte-for-byte interchangeable (gated by
+        ``tools/capture_golden.py --kernel`` and the randomized parity
+        harness) — only throughput.
     """
 
     PROFILES = ("exact", "fast")
+    KERNELS = KERNELS
 
     def __init__(self, seed: int = 0, trace: Optional[TraceLog] = None,
-                 profile: str = "exact"):
+                 profile: str = "exact", kernel: Optional[str] = None):
         if profile not in self.PROFILES:
             raise SimulationError(
                 f"unknown profile {profile!r}; expected one of {self.PROFILES}")
         self.profile = profile
+        self._kernel = resolve_kernel(kernel)
+        self._ckernel_run = (_ckernel.run if self._kernel == "c"
+                             else None)
         self._now = 0.0
         self._heap: List[Tuple[Any, ...]] = []
         self._seq = itertools.count()
@@ -257,6 +343,27 @@ class Simulator:
         samples it as ``kernel/heap_depth``).
         """
         return len(self._heap)
+
+    # --- kernel selection ------------------------------------------------
+
+    @property
+    def kernel(self) -> str:
+        """The concrete run-loop implementation: ``"python"`` or ``"c"``."""
+        return self._kernel
+
+    def pin_python_kernel(self) -> None:
+        """Permanently select the pure-Python reference loop.
+
+        For hooks that must observe the interpreted dispatch loop
+        itself (telemetry's :class:`KernelDispatchProbe` shadows
+        ``run`` directly and needs the shapes counted in Python;
+        debuggers stepping callbacks want Python frames).  Safe to call
+        on any simulator, including one already on the Python kernel;
+        there is deliberately no way back — a mid-suite kernel flip
+        would make ``kernel`` lie to telemetry exports.
+        """
+        self._kernel = "python"
+        self._ckernel_run = None
 
     # --- scheduling ------------------------------------------------------
 
@@ -340,6 +447,12 @@ class Simulator:
         exactly ``until`` so that back-to-back ``run`` calls observe a
         continuous timeline.
         """
+        if self._ckernel_run is not None:
+            # Compiled twin of everything below — identical event
+            # sequence, counters and clock writes (see _ckernel.c's
+            # bit-identity contract).  Instance-attribute shadows of
+            # ``run`` (KernelDispatchProbe) bypass this automatically.
+            return self._ckernel_run(self, until, max_events)
         if self._running:
             raise SimulationError("run() called re-entrantly")
         self._running = True

@@ -6,7 +6,8 @@ never runs backward, NAV reservations never exceed the longest legal
 frame duration, the batched backoff countdown lands on exactly the
 instant the per-slot reference would, the relaxed-math interference
 accumulator never drifts negative or sticks above zero on quiet air,
-and converged routing tables are loop-free.
+converged routing tables are loop-free, and — at quiescence — the
+``pending_events`` counter agrees with a literal census of the heap.
 
 :class:`InvariantChecker` sweeps all of them periodically from inside
 the event loop.  It is **opt-in** (strict mode): the checks cost real
@@ -207,6 +208,53 @@ class InvariantChecker:
         if heap and heap[0][0] + _EPS < now:
             self._fail("heap-monotonic", "kernel",
                        f"heap head at {heap[0][0]!r} behind now={now!r}")
+
+    # Kernel bookkeeping: scheduled - executed - cancelled must equal a
+    # literal census of live heap entries.  NOT part of the periodic
+    # sweep: the run loop's until-only fast branch keeps the executed
+    # counter in a local flushed at exit, so a mid-run sweep would read
+    # a stale figure and false-positive.  Call it between runs.
+    def check_counter_parity(self) -> None:
+        """Audit ``pending_events`` against the live heap, at quiescence.
+
+        ``Simulator.pending_events`` is derived bookkeeping
+        (``scheduled - executed - cancelled``); the heap is ground
+        truth.  A live entry is a fire-and-forget ``schedule_fast``
+        record (always live until popped), a :class:`Timer` entry whose
+        version matches the timer's current armed deadline, or a
+        pending :class:`EventHandle`.  Any disagreement means a kernel
+        implementation (the pure-Python reference or the compiled
+        ``repro.core._ckernel``) dropped or double-counted an event —
+        exactly the drift a kernel swap could otherwise leak silently.
+
+        Only meaningful while no :meth:`Simulator.run` is in flight:
+        the until-only fast branch batches the executed counter in a
+        run-loop local, so mid-run the stored counter is legitimately
+        stale.  Call it after ``run()`` returns (e.g. from a test or a
+        macro epilogue), not from the periodic :meth:`check_now` sweep.
+        """
+        self.checks_run += 1
+        sim = self.sim
+        live = 0
+        for entry in sim._heap:
+            event = entry[2]
+            if event is None:
+                live += 1       # fire-and-forget: live until popped
+            elif len(entry) == 4:
+                # Timer entry: live iff it carries the armed deadline's
+                # version; superseded/cancelled versions are lazy trash.
+                if event._armed and event._version == entry[3]:
+                    live += 1
+            elif not event._cancelled and not event._fired:
+                live += 1       # pending EventHandle
+        pending = sim.pending_events
+        if pending != live:
+            self._fail(
+                "counter-parity", "kernel",
+                f"pending_events={pending} (scheduled={sim._scheduled} "
+                f"- executed={sim._events_executed} - cancelled="
+                f"{sim._cancelled_events}) but {live} live heap "
+                f"entries of {len(sim._heap)}")
 
     # MAC: NAV within legal bounds; batched countdown equals the
     # per-slot reference left-fold.

@@ -254,3 +254,74 @@ class TestMergeOrder:
         InvariantChecker.check_merge_order([self._record(0.1, 0, 1),
                                             self._record(0.3, 1, 0)], tail)
         assert tail == {0: (0.1, 1), 1: (0.3, 0)}
+
+
+class TestCounterParity:
+    """scheduled - executed - cancelled must equal the live-heap census
+    at quiescence, under either kernel implementation."""
+
+    def _mixed_workload(self, sim):
+        from repro.core.engine import Timer
+        timer = Timer(sim, lambda: None)
+        hits = []
+        for i in range(10):
+            sim.schedule_fast(0.01 * i, hits.append, i)
+        handles = [sim.schedule(0.005 + 0.01 * i, hits.append, 100 + i)
+                   for i in range(10)]
+        handles[3].cancel()
+        handles[7].cancel()
+        timer.schedule(0.02)
+        timer.schedule(0.045)   # supersede: stale entry stays in heap
+        timer.cancel()
+        timer.schedule(0.06)    # re-arm after cancel
+        # Leave work beyond the horizon so the heap is non-empty at
+        # quiescence: pending entries must be counted, not just zero.
+        sim.schedule_fast(10.0, hits.append, -1)
+        sim.schedule(11.0, hits.append, -2)
+        return timer, hits
+
+    def test_clean_mixed_run_passes(self, sim):
+        timer, hits = self._mixed_workload(sim)
+        checker = InvariantChecker(sim, strict=True)
+        checker.check_counter_parity()   # before the run
+        sim.run(until=1.0)
+        checker.check_counter_parity()   # at quiescence, heap non-empty
+        assert checker.violations == []
+        assert sim.pending_events == 2
+        assert len(hits) == 10 + 8   # fast + uncancelled handles
+        assert not timer.armed       # fired within the horizon
+
+    def test_forged_scheduled_drift_is_caught(self, sim):
+        sim.schedule(0.5, lambda: None)
+        sim.run(until=1.0)
+        checker = InvariantChecker(sim, strict=True)
+        sim._scheduled += 1   # a kernel that lost an event looks like this
+        with pytest.raises(InvariantViolation, match="counter-parity"):
+            checker.check_counter_parity()
+
+    def test_forged_executed_drift_accumulates_in_lenient_mode(self, sim):
+        sim.schedule(0.5, lambda: None)
+        sim.run(until=1.0)
+        checker = InvariantChecker(sim, strict=False)
+        sim._events_executed -= 1
+        checker.check_counter_parity()
+        (violation,) = checker.violations
+        assert violation.check == "counter-parity"
+        assert "live heap entries" in violation.detail
+
+    def test_superseded_timer_trash_is_not_live(self, sim):
+        from repro.core.engine import Timer
+        timer = Timer(sim, lambda: None)
+        for _ in range(5):
+            timer.schedule(2.0)   # four stale versions ride in the heap
+        checker = InvariantChecker(sim, strict=True)
+        checker.check_counter_parity()
+        assert sim.pending_events == 1
+        assert len(sim._heap) == 5
+
+    def test_clear_rebaseline_stays_in_parity(self, sim):
+        self._mixed_workload(sim)
+        sim.run(until=0.03)
+        sim.clear()
+        InvariantChecker(sim, strict=True).check_counter_parity()
+        assert sim.pending_events == 0

@@ -119,3 +119,45 @@ class TestWeaklyCoupledTolerances:
         assert first["arrival_log"] == second["arrival_log"]
         assert first["arrival_log_sha1"] == second["arrival_log_sha1"]
         assert first["cells"] == second["cells"]
+
+
+class TestKernelVariants:
+    """The differential gate must hold when the forked shard workers
+    run the compiled kernel: kernel choice is an implementation detail
+    that may never show up in any byte of the results."""
+
+    @pytest.fixture(autouse=True)
+    def _needs_compiled_kernel(self):
+        from repro.core.engine import ckernel_available
+        if not ckernel_available():
+            pytest.skip("compiled kernel not built "
+                        "(run: python tools/build_kernel.py)")
+
+    def test_c_workers_byte_equal_python_oracle(self, monkeypatch):
+        cells = build_city_cells(bss_count=4, stations_per_bss=2,
+                                 payload_size=200)
+        monkeypatch.setenv("REPRO_KERNEL", "python")
+        single = run_single(cells, seed=17, horizon=0.02,
+                            propagation_factory=city_propagation)
+        # Workers inherit the env across fork, so this flips every
+        # shard's run loop to the compiled kernel.
+        monkeypatch.setenv("REPRO_KERNEL", "c")
+        sharded = run_sharded(cells, seed=17, horizon=0.02, workers=2,
+                              propagation_factory=city_propagation)
+        assert sharded["cells"] == single["cells"]
+        assert sharded["events"] == single["events"]
+
+    def test_coupled_c_run_matches_python_run_bit_for_bit(self, monkeypatch):
+        cells = _far_pair()
+        results = {}
+        for kernel in ("python", "c"):
+            monkeypatch.setenv("REPRO_KERNEL", kernel)
+            results[kernel] = run_sharded(cells, seed=23, horizon=0.002,
+                                          workers=2,
+                                          propagation_factory=free_space,
+                                          manual=MANUAL_SPLIT)
+        python_run, c_run = results["python"], results["c"]
+        assert python_run["boundary_records"] > 0
+        assert python_run["arrival_log"] == c_run["arrival_log"]
+        assert python_run["arrival_log_sha1"] == c_run["arrival_log_sha1"]
+        assert python_run["cells"] == c_run["cells"]

@@ -29,13 +29,14 @@ class TestSelectMacros:
 
     def test_glob_expands_in_declared_order(self):
         assert capture_golden.select_macros(["dcf_saturation*"], _error) \
-            == ["dcf_saturation", "dcf_saturation_100"]
+            == ["dcf_saturation", "dcf_saturation_fast",
+                "dcf_saturation_100", "dcf_saturation_100_fast"]
 
     def test_duplicates_collapse_but_order_follows_command_line(self):
         names = capture_golden.select_macros(
-            ["wep_audit", "dcf_saturation*", "wep_audit"], _error)
-        assert names == ["wep_audit", "dcf_saturation",
-                         "dcf_saturation_100"]
+            ["wep_audit", "dcf_saturation_1*", "wep_audit"], _error)
+        assert names == ["wep_audit", "dcf_saturation_100",
+                         "dcf_saturation_100_fast"]
 
     def test_unmatched_pattern_is_an_error(self):
         with pytest.raises(SystemExit, match="no_such"):

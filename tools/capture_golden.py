@@ -35,11 +35,22 @@ sys.path.insert(0, str(REPO_ROOT / "tests"))
 
 FIXTURE_PATH = REPO_ROOT / "tests" / "mac" / "fixtures" / "tiebreak_trace.json"
 
-#: Macros whose runs are DES-driven (wep_audit has no event trace).
-TRACED_MACROS = ("dcf_saturation", "dcf_saturation_100", "multi_bss",
-                 "hidden_terminal", "roaming_ess")
+#: Macros whose runs are DES-driven: every in-process simulator they
+#: build is captured with full tracing (multi-simulator macros emit one
+#: ``# sim N`` section per simulator, in construction order).
+TRACED_MACROS = ("dcf_saturation", "dcf_saturation_fast",
+                 "dcf_saturation_100", "dcf_saturation_100_fast",
+                 "multi_bss", "hidden_terminal", "interference_field",
+                 "interference_field_fast", "mesh_backhaul", "roaming_ess",
+                 "fault_storm")
+#: Macros captured by seeded stats fingerprint only: wep_audit is pure
+#: computation (no event trace), and the city_scale pair runs its
+#: simulators inside forked shard workers where the parent cannot reach
+#: their trace logs — their canonical arrival-log sha1 in the stats is
+#: the equivalent byte-level pin.
+STATS_ONLY_MACROS = ("wep_audit", "city_scale", "city_scale_1p")
 #: Everything capture-able: the traced set plus the stats-only macros.
-CAPTURABLE_MACROS = TRACED_MACROS + ("wep_audit",)
+CAPTURABLE_MACROS = TRACED_MACROS + STATS_ONLY_MACROS
 
 
 def select_macros(patterns: Optional[Sequence[str]],
@@ -68,6 +79,18 @@ def select_macros(patterns: Optional[Sequence[str]],
     return names
 
 
+def _strip_stats(stats: Dict[str, Any]) -> Dict[str, Any]:
+    # Strip instrumentation counters along with the kernel event
+    # count: cache/plan hit ratios, telemetry accumulators and the
+    # like are implementation diagnostics, not protocol outcomes,
+    # and legitimately change when a perf PR restructures the
+    # caching (the traces are the bit-identity contract).
+    return {key: value for key, value in stats.items()
+            if key != "events"
+            and not key.startswith(("link_cache", "fanout_",
+                                    "telemetry"))}
+
+
 def capture_macros(out_dir: pathlib.Path, scale: float,
                    names: Optional[Sequence[str]] = None,
                    telemetry: bool = False) -> None:
@@ -75,37 +98,40 @@ def capture_macros(out_dir: pathlib.Path, scale: float,
     from repro.core.engine import Simulator
     from repro.core.trace import TraceLog
 
-    captured: Dict[str, Any] = {}
+    captured: List[Simulator] = []
 
     def traced_simulator(seed: int) -> Simulator:
         trace = TraceLog(capacity=None, enabled=True)
         sim = Simulator(seed=seed, trace=trace)
-        captured["sim"] = sim
+        captured.append(sim)
         return sim
 
     if names is None:
         names = CAPTURABLE_MACROS
     macro_mod._perf_simulator = traced_simulator
     for name in [n for n in names if n in TRACED_MACROS]:
+        captured.clear()
         result = macro_mod.MACROS[name](scale, telemetry=telemetry)
-        sim = captured["sim"]
-        lines = [
-            f"{record.time!r} {record.source} {record.event} "
-            + " ".join(f"{key}={value!r}"
-                       for key, value in sorted(record.detail.items()))
-            for record in sim.trace
-        ]
-        (out_dir / f"{name}.trace").write_text("\n".join(lines) + "\n")
-        # Strip instrumentation counters along with the kernel event
-        # count: cache/plan hit ratios, telemetry accumulators and the
-        # like are implementation diagnostics, not protocol outcomes,
-        # and legitimately change when a perf PR restructures the
-        # caching (the traces above are the bit-identity contract).
-        stats = {key: value for key, value in result["stats"].items()
-                 if key != "events"
-                 and not key.startswith(("link_cache", "fanout_",
-                                         "telemetry"))}
-        stats["protocol_events"] = len(lines)
+        # One section per simulator, in construction order.  The
+        # single-simulator format (no section marker) is unchanged from
+        # before multi-simulator macros were capturable, so historical
+        # before/after diffs stay line-for-line comparable.
+        sections: List[str] = []
+        total = 0
+        for index, sim in enumerate(captured):
+            lines = [
+                f"{record.time!r} {record.source} {record.event} "
+                + " ".join(f"{key}={value!r}"
+                           for key, value in sorted(record.detail.items()))
+                for record in sim.trace
+            ]
+            total += len(lines)
+            if len(captured) > 1:
+                sections.append(f"# sim {index}")
+            sections.extend(lines)
+        (out_dir / f"{name}.trace").write_text("\n".join(sections) + "\n")
+        stats = _strip_stats(result["stats"])
+        stats["protocol_events"] = total
         (out_dir / f"{name}.stats.json").write_text(
             json.dumps(stats, indent=2, sort_keys=True) + "\n")
         if telemetry:
@@ -114,13 +140,21 @@ def capture_macros(out_dir: pathlib.Path, scale: float,
             # machine noise and would break ``diff -r``.
             (out_dir / f"{name}.telemetry.jsonl").write_text(
                 result["telemetry_jsonl"])
-        print(f"{name:20s} {len(lines):8d} trace lines -> {out_dir}")
-    if "wep_audit" in names:
-        # wep_audit: stats only (pure computation, no event trace).
-        result = macro_mod.MACROS["wep_audit"](min(scale, 1.0))
-        (out_dir / "wep_audit.stats.json").write_text(
-            json.dumps(result["stats"], indent=2, sort_keys=True) + "\n")
-        print(f"{'wep_audit':20s} stats only -> {out_dir}")
+        print(f"{name:24s} {total:8d} trace lines -> {out_dir}")
+    for name in [n for n in names if n in STATS_ONLY_MACROS]:
+        captured.clear()
+        # Stats only: wep_audit is pure computation; the city_scale
+        # pair's simulators live in forked shard workers (their
+        # canonical arrival-log sha1 inside the stats is the byte pin).
+        if name == "wep_audit":
+            result = macro_mod.MACROS[name](min(scale, 1.0))
+            stats = result["stats"]
+        else:
+            result = macro_mod.MACROS[name](scale)
+            stats = _strip_stats(result["stats"])
+        (out_dir / f"{name}.stats.json").write_text(
+            json.dumps(stats, indent=2, sort_keys=True) + "\n")
+        print(f"{name:24s} stats only -> {out_dir}")
 
 
 def capture_fixture() -> None:
@@ -153,6 +187,17 @@ def main(argv=None) -> int:
                              "glob patterns, same contract as "
                              "run_bench.py --only; a pattern matching "
                              "nothing is an error)")
+    parser.add_argument("--kernel", default=None,
+                        metavar="{auto,python,c}",
+                        help="run-loop implementation for every captured "
+                             "macro (exported as REPRO_KERNEL so forked "
+                             "shard workers inherit it).  The cross-kernel "
+                             "gate is two captures + diff -r:\n"
+                             "  capture_golden.py /tmp/py --kernel python\n"
+                             "  capture_golden.py /tmp/c  --kernel c\n"
+                             "  diff -r /tmp/py /tmp/c\n"
+                             "'c' errors out if the extension is not built "
+                             "(default: honor REPRO_KERNEL, else auto)")
     parser.add_argument("--fixture", action="store_true",
                         help="regenerate the committed tie-break fixture")
     parser.add_argument("--telemetry", action="store_true",
@@ -161,6 +206,18 @@ def main(argv=None) -> int:
                              "<macro>.telemetry.jsonl (the wall stream is "
                              "machine noise and is never captured)")
     args = parser.parse_args(argv)
+    if args.kernel is not None:
+        import os
+
+        from repro.core.engine import KERNELS, resolve_kernel
+        if args.kernel not in KERNELS:
+            parser.error(f"unknown kernel {args.kernel!r}; "
+                         f"expected one of {KERNELS}")
+        os.environ["REPRO_KERNEL"] = args.kernel
+        try:
+            resolve_kernel()  # fail fast on an unbuilt explicit 'c'
+        except Exception as exc:
+            parser.error(str(exc))
     if not args.fixture and args.out_dir is None:
         parser.error("need an out_dir (or --fixture)")
     if args.out_dir is not None:

@@ -61,6 +61,7 @@ import gc
 import json
 import multiprocessing
 import multiprocessing.connection
+import os
 import pathlib
 import platform
 import pstats
@@ -80,6 +81,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
 from perf.macro import MACROS  # noqa: E402
+from repro.core.engine import KERNELS, resolve_kernel  # noqa: E402
 
 
 def profile_scenario(name: str, scale: float, top: int = 10,
@@ -155,6 +157,10 @@ def time_scenario(name: str, scale: float, repeats: int,
         "name": name,
         "scale": scale,
         "repeats": repeats,
+        # The concrete run-loop implementation ("python" or "c") the
+        # scenario's simulators resolved to — throughput is only
+        # comparable like-for-like, so every record carries it.
+        "kernel": resolve_kernel(),
         "wall_s": round(wall, 4),
         "work": result["work"],
         "work_unit": result["work_unit"],
@@ -357,8 +363,11 @@ def run_check(names, repeats: int, update_baseline: bool,
 
     Throughput (work/sec) is only compared when the baseline was
     recorded on this machine — absolute events/sec from another host
-    would gate the hardware, not the diff.  The seeded ``stats``
-    fingerprint is machine-independent and is always compared.
+    would gate the hardware, not the diff — AND with the same kernel:
+    a python-kernel baseline must not regression-gate a C-kernel run
+    (or vice versa); that would gate the kernel choice, not the diff.
+    The seeded ``stats`` fingerprint is machine- and kernel-independent
+    (the kernels are bit-identical) and is always compared.
     """
     baseline: Dict[str, Any] = {}
     if BASELINE_PATH.exists():
@@ -388,7 +397,11 @@ def run_check(names, repeats: int, update_baseline: bool,
             print(f"{name:20s} {record['work_per_sec']:>12,.0f} "
                   f"{record['work_unit']}/s   (no baseline)")
             continue
-        if same_machine:
+        # Baselines predating the kernel key were recorded with the
+        # pure-Python loop (the only kernel that existed then).
+        same_kernel = (reference.get("kernel", "python")
+                       == record["kernel"])
+        if same_machine and same_kernel:
             floor = reference["work_per_sec"] * (1.0 - REGRESSION_TOLERANCE)
             best = record["work_per_sec_best"]
             verdict = "ok" if best >= floor else "REGRESSED"
@@ -397,6 +410,11 @@ def run_check(names, repeats: int, update_baseline: bool,
                   f"{reference['work_per_sec']:>12,.0f}   {verdict}")
             if best < floor:
                 failures.append(name)
+        elif same_machine:
+            print(f"{name:20s} {record['work_per_sec']:>12,.0f} "
+                  f"{record['work_unit']}/s   (kernel "
+                  f"{record['kernel']!r} vs baseline "
+                  f"{reference.get('kernel', 'python')!r}: not gated)")
         else:
             print(f"{name:20s} {record['work_per_sec']:>12,.0f} "
                   f"{record['work_unit']}/s   (cross-machine: not gated)")
@@ -419,6 +437,7 @@ def run_check(names, repeats: int, update_baseline: bool,
                 "work_per_sec": record["work_per_sec_best"],
                 "work_unit": record["work_unit"],
                 "scale": record["scale"],
+                "kernel": record["kernel"],
                 "stats": record["stats"],
             }
             for name, record in records.items()
@@ -471,9 +490,19 @@ def main(argv=None) -> int:
                              "exceeding it is killed and reported as a "
                              "FAILED row instead of hanging the run "
                              "(default 0 = unlimited, in-process)")
+    parser.add_argument("--kernel", choices=KERNELS, default=None,
+                        metavar="{auto,python,c}",
+                        help="run-loop implementation for every scenario "
+                             "(exported as REPRO_KERNEL so forked workers "
+                             "inherit it); 'c' errors out if the extension "
+                             "is not built, 'auto' uses it when available "
+                             "(default: honor the existing REPRO_KERNEL, "
+                             "else auto)")
     parser.add_argument("--check", action="store_true",
                         help="reduced-scale regression gate vs the committed "
-                             "baseline (exit 1 on >25%% regression)")
+                             "baseline (exit 1 on >25%% regression; "
+                             "throughput is gated like-for-like — same "
+                             "machine AND same kernel as the baseline)")
     parser.add_argument("--update-baseline", action="store_true",
                         help="with --check: rewrite the committed baseline "
                              "from this machine's numbers")
@@ -503,6 +532,15 @@ def main(argv=None) -> int:
         names = sorted(MACROS)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.kernel is not None:
+        # Export rather than thread a parameter through: macro code
+        # resolves the kernel per-Simulator from REPRO_KERNEL, and the
+        # forked --timeout/--jobs workers inherit the environment.
+        os.environ["REPRO_KERNEL"] = args.kernel
+    try:
+        resolve_kernel()  # fail fast: an unbuilt explicit 'c' must not
+    except Exception as exc:  # produce a full run of FAILED rows
+        parser.error(str(exc))
     if args.telemetry and args.check:
         parser.error("--telemetry is mutually exclusive with --check: the "
                      "regression gate must measure the production posture")
