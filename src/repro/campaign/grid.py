@@ -1,0 +1,99 @@
+"""Grid expansion: a campaign spec becomes an ordered list of jobs.
+
+Expansion order is the determinism contract of the whole campaign
+layer: the result store's row order, the manifest's grid fingerprint,
+and the resume logic all key off it.  The rules are fixed:
+
+* sweep axes iterate in **sorted path order** (the spec author's TOML
+  table order is not stable across serializers, sorted paths are),
+* each axis's values iterate in **declared order** (a sweep over
+  ``[2347, 256]`` runs 2347 first — curves come out in the author's
+  order),
+* the **seed ensemble is the innermost axis** (all seeds of one sweep
+  point run adjacently, which is also the order the ensemble
+  aggregator wants to consume).
+
+Every job's identity is the sha1 of its canonical concrete spec — a
+pure function of configuration, independent of position in the grid —
+so two campaigns that share a point share its key, and a resumed
+campaign recognizes finished work by content, not by row number.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from .spec import SpecError, concrete_job_spec, spec_sha1
+
+__all__ = ["Job", "expand_grid", "grid_sha1"]
+
+
+@dataclass(frozen=True)
+class Job:
+    """One fully-concrete unit of work in a campaign grid."""
+
+    #: Position in expansion order (== result-store row order).
+    index: int
+    #: Content address: sha1 of the canonical concrete spec.
+    key: str
+    #: Human-readable coordinates, e.g. ``rts_threshold_bytes=256/seed=11``.
+    label: str
+    #: The swept axes pinned to this job's values (full spec paths).
+    axes: Dict[str, Any] = field(hash=False)
+    seed: int = 0
+    #: The validated concrete spec the runner executes.
+    spec: Dict[str, Any] = field(default=None, hash=False)
+
+
+def _leaf(path: str) -> str:
+    return path.rsplit(".", 1)[-1]
+
+
+def _label(axes: Dict[str, Any], seed: int) -> str:
+    parts = [f"{_leaf(path)}={axes[path]}" for path in sorted(axes)]
+    parts.append(f"seed={seed}")
+    return "/".join(parts)
+
+
+def expand_grid(spec: Dict[str, Any]) -> List[Job]:
+    """Expand a validated campaign spec into its ordered job list."""
+    sweep = spec.get("sweep", {})
+    seeds = spec["seeds"]["list"]
+    paths = sorted(sweep)
+    jobs: List[Job] = []
+    seen: Dict[str, str] = {}
+    for combo in itertools.product(*(sweep[path] for path in paths)):
+        axes = dict(zip(paths, combo))
+        for seed in seeds:
+            concrete = concrete_job_spec(spec, axes, seed)
+            key = spec_sha1(concrete)
+            label = _label(axes, seed)
+            if key in seen:
+                # Two grid points collapsing to one content address is
+                # almost always an axis that doesn't actually change
+                # the scenario — surface it instead of silently
+                # double-counting one run.
+                raise SpecError("sweep",
+                                f"jobs {seen[key]!r} and {label!r} expand "
+                                f"to the identical concrete spec ({key})")
+            seen[key] = label
+            jobs.append(Job(index=len(jobs), key=key, label=label,
+                            axes=axes, seed=seed, spec=concrete))
+    return jobs
+
+
+def grid_sha1(jobs: List[Job]) -> str:
+    """Fingerprint of the whole grid: keys in expansion order.
+
+    Stored in the manifest so a resume against an *edited* spec (new
+    axes, different seeds — anything that changes membership or order)
+    is detected instead of producing a store that mixes two grids.
+    """
+    digest = hashlib.sha1()
+    for job in jobs:
+        digest.update(job.key.encode())
+        digest.update(b"\n")
+    return digest.hexdigest()

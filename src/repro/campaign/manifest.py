@@ -1,0 +1,140 @@
+"""The crash-safe resumable campaign manifest.
+
+One JSON file per campaign, keyed by content-addressed job sha1::
+
+    {
+      "format": 1,
+      "campaign": "hidden_terminal",
+      "grid_sha1": "…",             # fingerprint of the expanded grid
+      "jobs": {
+        "<job sha1>": {"status": "done",   "row": {…}},
+        "<job sha1>": {"status": "failed", "error": "…"}
+      }
+    }
+
+Every state change is persisted with the classic atomic-rename recipe:
+serialize to ``<path>.tmp`` in the same directory, fsync, then
+``os.replace`` over the manifest.  A campaign killed at *any* instant
+(including mid-write) therefore leaves either the previous manifest or
+the new one — never a torn file — and a resume picks up exactly the
+set of jobs whose completion reached the disk.
+
+The manifest is the campaign's source of truth; the JSONL/CSV result
+store is a *projection* of it (rewritten in grid order on every run),
+which is what makes "interrupted + resumed" byte-identical to
+"uninterrupted": both stores are the same deterministic function of
+the same manifest rows.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Any, Dict, Optional
+
+from .spec import SpecError
+
+__all__ = ["Manifest", "MANIFEST_FORMAT"]
+
+MANIFEST_FORMAT = 1
+
+DONE = "done"
+FAILED = "failed"
+
+
+def _atomic_write(path: pathlib.Path, text: str) -> None:
+    """Write-then-rename in the target's directory (same filesystem)."""
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+class Manifest:
+    """Persistent done/failed ledger for one campaign grid."""
+
+    def __init__(self, path: pathlib.Path, campaign: str, grid_sha1: str):
+        self.path = pathlib.Path(path)
+        self.campaign = campaign
+        self.grid_sha1 = grid_sha1
+        self.jobs: Dict[str, Dict[str, Any]] = {}
+
+    # --- construction -----------------------------------------------------
+
+    @classmethod
+    def open(cls, path: pathlib.Path, campaign: str, grid_sha1: str,
+             fresh: bool = False) -> "Manifest":
+        """Load the manifest at ``path``, or start an empty one.
+
+        ``fresh=True`` discards any previous state.  A manifest written
+        for a *different* grid (edited spec: membership or order
+        changed) raises instead of silently mixing two campaigns —
+        content-addressed job keys make stale rows look deceptively
+        valid otherwise.
+        """
+        manifest = cls(path, campaign, grid_sha1)
+        if fresh or not manifest.path.exists():
+            return manifest
+        try:
+            raw = json.loads(manifest.path.read_text())
+        except ValueError as exc:
+            raise SpecError("(manifest)",
+                            f"{path} is not valid JSON ({exc}); "
+                            f"remove it or rerun with fresh=True")
+        if raw.get("format") != MANIFEST_FORMAT:
+            raise SpecError("(manifest)",
+                            f"{path} has format {raw.get('format')!r}, "
+                            f"this build reads {MANIFEST_FORMAT}")
+        if raw.get("grid_sha1") != grid_sha1:
+            raise SpecError("(manifest)",
+                            f"{path} was written for a different grid "
+                            f"({raw.get('grid_sha1')!r:.14} vs "
+                            f"{grid_sha1!r:.14}): the spec changed since "
+                            f"that run; rerun with fresh=True to discard "
+                            f"the old state")
+        manifest.jobs = dict(raw.get("jobs", {}))
+        return manifest
+
+    # --- queries ----------------------------------------------------------
+
+    def status(self, key: str) -> Optional[str]:
+        entry = self.jobs.get(key)
+        return entry["status"] if entry else None
+
+    def is_done(self, key: str) -> bool:
+        return self.status(key) == DONE
+
+    def row(self, key: str) -> Optional[Dict[str, Any]]:
+        entry = self.jobs.get(key)
+        if entry and entry["status"] == DONE:
+            return entry["row"]
+        return None
+
+    def counts(self) -> Dict[str, int]:
+        out = {DONE: 0, FAILED: 0}
+        for entry in self.jobs.values():
+            out[entry["status"]] = out.get(entry["status"], 0) + 1
+        return out
+
+    # --- updates ----------------------------------------------------------
+
+    def record_done(self, key: str, row: Dict[str, Any]) -> None:
+        self.jobs[key] = {"status": DONE, "row": row}
+        self._persist()
+
+    def record_failed(self, key: str, error: str) -> None:
+        self.jobs[key] = {"status": FAILED, "error": error}
+        self._persist()
+
+    def _persist(self) -> None:
+        payload = {
+            "format": MANIFEST_FORMAT,
+            "campaign": self.campaign,
+            "grid_sha1": self.grid_sha1,
+            "jobs": self.jobs,
+        }
+        _atomic_write(self.path,
+                      json.dumps(payload, indent=2, sort_keys=True) + "\n")

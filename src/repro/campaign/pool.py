@@ -1,0 +1,170 @@
+"""Shared harness plumbing: ``--only`` globs and the fork/timeout pool.
+
+Extracted from ``tools/run_bench.py`` so the bench harness and the
+campaign executor run on one copy of the tricky machinery: fork-based
+per-task isolation with wall-clock timeouts, and an N-way process pool
+whose output order is pinned to input order regardless of completion
+order.  ``run_bench`` keeps its public functions as thin adapters over
+these, byte-stable CLI contract included.
+
+Tasks are zero-argument callables.  Workers are started with the
+``fork`` context on purpose: the child shares the parent's loaded
+modules — monkeypatches, registries and closures included — so a task
+needs no pickling and behaves exactly as it would in-process.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import multiprocessing
+import multiprocessing.connection
+import time
+from typing import Any, Callable, Dict, Iterable, Iterator, List, \
+    Optional, Sequence, Tuple
+
+__all__ = ["select_names", "call_guarded", "iter_pooled"]
+
+Task = Callable[[], Any]
+#: ``(status, payload)``: ("ok", result) | ("error", message) |
+#: ("timeout", None).
+Outcome = Tuple[str, Any]
+
+
+def select_names(patterns: Optional[Sequence[str]],
+                 available: Iterable[str],
+                 what: str = "scenario") -> List[str]:
+    """Resolve ``--only`` patterns against an available-name set.
+
+    Each entry is an exact name or a glob; order follows the pattern
+    list, duplicates collapse, and a pattern matching nothing raises
+    ``ValueError`` (a typo must not silently run zero items and report
+    success).  With no patterns, every available name is returned
+    sorted.
+    """
+    names_all = sorted(available)
+    if not patterns:
+        return names_all
+    names: List[str] = []
+    unmatched = []
+    for pattern in patterns:
+        matched = sorted(fnmatch.filter(names_all, pattern))
+        if not matched:
+            unmatched.append(pattern)
+        names.extend(name for name in matched if name not in names)
+    if unmatched:
+        raise ValueError(f"unknown {what}(s)/pattern(s): {unmatched}; "
+                         f"available: {names_all}")
+    return names
+
+
+def _child_entry(conn, task: Task) -> None:
+    """Subprocess body: run the task, report, never hang the parent."""
+    try:
+        conn.send(("ok", task()))
+    except BaseException as exc:  # report, don't hang the parent
+        conn.send(("error", f"{type(exc).__name__}: {exc}"))
+    finally:
+        conn.close()
+
+
+def call_guarded(task: Task, timeout: float = 0.0) -> Outcome:
+    """Run ``task`` with an optional wall-clock cap.
+
+    With ``timeout`` <= 0, runs in-process exactly as a plain call
+    (exceptions propagate to the caller).  With a timeout, the task
+    runs in a forked child and one that livelocks or blows its budget
+    is killed — yielding a clean ``("timeout", None)`` instead of
+    hanging the whole run.
+    """
+    if timeout <= 0:
+        return "ok", task()
+    ctx = multiprocessing.get_context("fork")
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    proc = ctx.Process(target=_child_entry, args=(child_conn, task))
+    proc.start()
+    child_conn.close()
+    try:
+        if parent_conn.poll(timeout):
+            status, payload = parent_conn.recv()
+            proc.join()
+            return status, payload
+    except EOFError:  # child died without reporting (segfault, kill)
+        proc.join()
+        return "error", f"worker exited with code {proc.exitcode}"
+    finally:
+        parent_conn.close()
+    proc.terminate()
+    proc.join()
+    return "timeout", None
+
+
+def iter_pooled(tasks: Sequence[Task], *, timeout: float = 0.0,
+                jobs: int = 1) -> Iterator[Tuple[int, str, Any]]:
+    """Yield ``(index, status, payload)`` for every task, **in input
+    order** regardless of completion order.
+
+    ``jobs <= 1`` preserves the serial path (including the in-process
+    no-timeout mode of :func:`call_guarded`).  With ``jobs > 1`` every
+    task runs in its own forked child — the same isolation ``timeout``
+    already buys — with at most ``jobs`` children alive at once;
+    finished results are buffered until their turn so the output rows
+    (and failure ordering) are pinned to the input list.
+    """
+    if jobs <= 1:
+        for index, task in enumerate(tasks):
+            status, payload = call_guarded(task, timeout)
+            yield index, status, payload
+        return
+    ctx = multiprocessing.get_context("fork")
+    # Everything is keyed by input *index*, never by any task-derived
+    # name: the same work item may legitimately appear more than once
+    # in the input list, and name-keyed buffering would collapse (and
+    # lose) those rows.
+    queue = list(enumerate(tasks))
+    running: Dict[Any, Tuple[int, Any, Optional[float]]] = {}
+    results: Dict[int, Outcome] = {}
+    emitted = 0
+    total = len(tasks)
+    while emitted < total:
+        while queue and len(running) < jobs:
+            index, task = queue.pop(0)
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(target=_child_entry,
+                               args=(child_conn, task))
+            proc.start()
+            child_conn.close()
+            deadline = time.monotonic() + timeout if timeout > 0 else None
+            running[parent_conn] = (index, proc, deadline)
+        if running:
+            if timeout > 0:
+                horizon = min(deadline for _, _, deadline
+                              in running.values())
+                wait_s = max(0.0, horizon - time.monotonic())
+                ready = multiprocessing.connection.wait(list(running),
+                                                        timeout=wait_s)
+            else:
+                ready = multiprocessing.connection.wait(list(running))
+            for conn in ready:
+                index, proc, _deadline = running.pop(conn)
+                try:
+                    status, payload = conn.recv()
+                    proc.join()
+                except EOFError:
+                    proc.join()
+                    status = "error"
+                    payload = f"worker exited with code {proc.exitcode}"
+                conn.close()
+                results[index] = (status, payload)
+            if not ready:  # some child blew its deadline
+                now = time.monotonic()
+                for conn in [c for c, (_, _, d) in running.items()
+                             if d is not None and d <= now]:
+                    index, proc, _deadline = running.pop(conn)
+                    proc.terminate()
+                    proc.join()
+                    conn.close()
+                    results[index] = ("timeout", None)
+        while emitted < total and emitted in results:
+            status, payload = results.pop(emitted)
+            yield emitted, status, payload
+            emitted += 1

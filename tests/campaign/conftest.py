@@ -1,0 +1,35 @@
+"""Fixtures for the declarative campaign runner suite."""
+
+import pathlib
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+SPECS_DIR = REPO_ROOT / "specs"
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+
+def small_spec(name="unit", **overrides):
+    """A cheap 4-job campaign (2 sweep points x 2 seeds) for executor
+    tests: a 2-station saturated BSS over a 50 ms horizon."""
+    spec = {
+        "campaign": {"name": name},
+        "scenario": {"builder": "infrastructure_bss", "horizon": 0.05,
+                     "seed": 3, "params": {"stations": 2}},
+        "traffic": {"kind": "saturate", "payload_bytes": 400, "depth": 2},
+        "sweep": {"scenario.params.rts_threshold_bytes": [2347, 256]},
+        "seeds": {"count": 2},
+    }
+    spec.update(overrides)
+    return spec
+
+
+@pytest.fixture
+def specs_dir():
+    return SPECS_DIR
+
+
+@pytest.fixture
+def repo_root():
+    return REPO_ROOT

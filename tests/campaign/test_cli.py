@@ -1,0 +1,92 @@
+"""The run_campaign CLI: listing, schema, errors, and queue mode."""
+
+import pytest
+
+import run_campaign as cli
+
+SPEC = """\
+[campaign]
+name = "{name}"
+
+[scenario]
+builder = "infrastructure_bss"
+horizon = 0.05
+seed = 3
+
+[scenario.params]
+stations = 2
+
+[traffic]
+kind = "saturate"
+"""
+
+
+def write_spec(path, name="cli"):
+    path.write_text(SPEC.format(name=name))
+    return path
+
+
+def test_run_and_resume_via_main(tmp_path, capsys):
+    spec = write_spec(tmp_path / "cli.toml")
+    out = tmp_path / "results"
+    assert cli.main([str(spec), "--out-dir", str(out)]) == 0
+    captured = capsys.readouterr().out
+    assert "1 ran, 0 reused" in captured
+    assert (out / "cli.results.jsonl").exists()
+    assert cli.main([str(spec), "--out-dir", str(out)]) == 0
+    assert "0 ran, 1 reused" in capsys.readouterr().out
+
+
+def test_list_mode_runs_nothing(tmp_path, capsys):
+    spec = write_spec(tmp_path / "cli.toml")
+    out = tmp_path / "results"
+    assert cli.main([str(spec), "--out-dir", str(out), "--list"]) == 0
+    assert "1 jobs" in capsys.readouterr().out
+    assert not out.exists()
+
+
+def test_schema_mode(capsys):
+    assert cli.main(["--schema"]) == 0
+    out = capsys.readouterr().out
+    assert "scenario.builder" in out and "sweep.<spec.path>" in out
+
+
+def test_spec_error_exits_2(tmp_path, capsys):
+    bad = tmp_path / "bad.toml"
+    bad.write_text('[campaign]\nname = "x"\n[scenario]\n'
+                   'builder = "warp_drive"\nhorizon = 1.0\n')
+    assert cli.main([str(bad), "--out-dir", str(tmp_path / "o")]) == 2
+    assert "scenario.builder" in capsys.readouterr().err
+
+
+def test_usage_errors(tmp_path):
+    with pytest.raises(SystemExit):
+        cli.main([])  # no specs, no --queue, no --schema
+    with pytest.raises(SystemExit):
+        cli.main([str(tmp_path / "x.toml"), "--jobs", "0"])
+
+
+def test_queue_drain_processes_and_sorts_submissions(tmp_path, capsys):
+    queue = tmp_path / "submit"
+    queue.mkdir()
+    write_spec(queue / "good.toml", name="good")
+    (queue / "broken.toml").write_text("[campaign\n")
+    out = tmp_path / "results"
+
+    code = cli.main(["--queue", str(queue), "--out-dir", str(out),
+                     "--drain", "--quiet"])
+    assert code == 1  # the broken submission surfaces in the exit code
+
+    assert (queue / "done" / "good.toml").exists()
+    assert (queue / "failed" / "broken.toml").exists()
+    error = (queue / "failed" / "broken.toml.error").read_text()
+    assert "broken.toml" in error
+    assert (out / "good.results.jsonl").exists()
+    assert not list(queue.glob("*.toml"))  # consumed exactly once
+
+
+def test_queue_drain_empty_is_ok(tmp_path):
+    queue = tmp_path / "submit"
+    queue.mkdir()
+    assert cli.main(["--queue", str(queue), "--out-dir",
+                     str(tmp_path / "o"), "--drain", "--quiet"]) == 0

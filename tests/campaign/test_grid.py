@@ -1,0 +1,72 @@
+"""Grid expansion: ordering contract and content-addressed identity."""
+
+import pytest
+
+from repro.campaign import (SpecError, expand_grid, grid_sha1, spec_sha1,
+                            validate_spec)
+
+from .conftest import small_spec
+
+
+def test_expansion_order_axes_sorted_values_declared_seeds_innermost():
+    spec = validate_spec(small_spec(
+        sweep={"scenario.params.rts_threshold_bytes": [2347, 256],
+               "scenario.params.stations": [2, 3]},
+        seeds={"count": 2}))
+    jobs = expand_grid(spec)
+    # sorted paths: rts_threshold_bytes before stations; values in
+    # declared order; seeds innermost.
+    coords = [(job.axes["scenario.params.rts_threshold_bytes"],
+               job.axes["scenario.params.stations"], job.seed)
+              for job in jobs]
+    assert coords == [
+        (2347, 2, 3), (2347, 2, 4), (2347, 3, 3), (2347, 3, 4),
+        (256, 2, 3), (256, 2, 4), (256, 3, 3), (256, 3, 4)]
+    assert [job.index for job in jobs] == list(range(8))
+
+
+def test_labels_are_leaf_coordinates():
+    jobs = expand_grid(validate_spec(small_spec()))
+    assert jobs[0].label == "rts_threshold_bytes=2347/seed=3"
+    assert jobs[-1].label == "rts_threshold_bytes=256/seed=4"
+
+
+def test_job_key_is_content_address():
+    jobs = expand_grid(validate_spec(small_spec()))
+    for job in jobs:
+        assert job.key == spec_sha1(job.spec)
+    assert len({job.key for job in jobs}) == len(jobs)
+
+
+def test_expansion_is_deterministic():
+    first = expand_grid(validate_spec(small_spec()))
+    second = expand_grid(validate_spec(small_spec()))
+    assert [job.key for job in first] == [job.key for job in second]
+    assert grid_sha1(first) == grid_sha1(second)
+
+
+def test_grid_sha1_tracks_membership_and_order():
+    base = expand_grid(validate_spec(small_spec()))
+    wider = expand_grid(validate_spec(small_spec(seeds={"count": 3})))
+    reordered = expand_grid(validate_spec(small_spec(
+        sweep={"scenario.params.rts_threshold_bytes": [256, 2347]})))
+    assert grid_sha1(base) != grid_sha1(wider)
+    assert grid_sha1(base) != grid_sha1(reordered)
+    assert sorted(job.key for job in base) \
+        == sorted(job.key for job in reordered)
+
+
+def test_duplicate_content_address_is_an_error():
+    # Sweeping an axis over the same value twice collapses two grid
+    # points onto one content address — surfaced, not double-counted.
+    spec = validate_spec(small_spec(
+        sweep={"scenario.params.rts_threshold_bytes": [256, 256]}))
+    with pytest.raises(SpecError, match="identical concrete spec"):
+        expand_grid(spec)
+
+
+def test_no_sweep_no_ensemble_is_one_job():
+    jobs = expand_grid(validate_spec(small_spec(sweep={}, seeds={})))
+    assert len(jobs) == 1
+    assert jobs[0].label == "seed=3"
+    assert jobs[0].axes == {}

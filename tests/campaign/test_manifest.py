@@ -1,0 +1,76 @@
+"""Manifest persistence: atomic updates, resume, grid-change detection."""
+
+import json
+
+import pytest
+
+from repro.campaign import Manifest, SpecError
+
+
+def test_round_trip(tmp_path):
+    path = tmp_path / "c.manifest.json"
+    manifest = Manifest.open(path, "c", "g" * 40)
+    manifest.record_done("k1", {"x": 1})
+    manifest.record_failed("k2", "boom")
+
+    reopened = Manifest.open(path, "c", "g" * 40)
+    assert reopened.is_done("k1")
+    assert reopened.row("k1") == {"x": 1}
+    assert reopened.status("k2") == "failed"
+    assert reopened.jobs["k2"]["error"] == "boom"
+    assert reopened.counts() == {"done": 1, "failed": 1}
+
+
+def test_every_record_persists_immediately(tmp_path):
+    path = tmp_path / "c.manifest.json"
+    manifest = Manifest.open(path, "c", "g" * 40)
+    manifest.record_done("k1", {"x": 1})
+    # No close()/flush() call needed: the file on disk is already
+    # complete after each record — that is the crash-safety property.
+    on_disk = json.loads(path.read_text())
+    assert on_disk["jobs"]["k1"]["status"] == "done"
+    assert on_disk["grid_sha1"] == "g" * 40
+
+
+def test_no_tmp_file_left_behind(tmp_path):
+    path = tmp_path / "c.manifest.json"
+    manifest = Manifest.open(path, "c", "g" * 40)
+    manifest.record_done("k1", {"x": 1})
+    assert not (tmp_path / "c.manifest.json.tmp").exists()
+
+
+def test_failed_then_done_overwrites(tmp_path):
+    path = tmp_path / "c.manifest.json"
+    manifest = Manifest.open(path, "c", "g" * 40)
+    manifest.record_failed("k1", "flaky")
+    manifest.record_done("k1", {"x": 2})
+    assert Manifest.open(path, "c", "g" * 40).row("k1") == {"x": 2}
+
+
+def test_grid_change_is_detected(tmp_path):
+    path = tmp_path / "c.manifest.json"
+    Manifest.open(path, "c", "a" * 40).record_done("k1", {})
+    with pytest.raises(SpecError, match="different grid"):
+        Manifest.open(path, "c", "b" * 40)
+
+
+def test_fresh_discards_previous_state(tmp_path):
+    path = tmp_path / "c.manifest.json"
+    Manifest.open(path, "c", "a" * 40).record_done("k1", {})
+    fresh = Manifest.open(path, "c", "b" * 40, fresh=True)
+    assert fresh.jobs == {}
+
+
+def test_corrupt_manifest_is_reported(tmp_path):
+    path = tmp_path / "c.manifest.json"
+    path.write_text("{ torn")
+    with pytest.raises(SpecError, match="not valid JSON"):
+        Manifest.open(path, "c", "a" * 40)
+
+
+def test_format_mismatch_is_reported(tmp_path):
+    path = tmp_path / "c.manifest.json"
+    path.write_text(json.dumps({"format": 99, "grid_sha1": "a" * 40,
+                                "jobs": {}}))
+    with pytest.raises(SpecError, match="format"):
+        Manifest.open(path, "c", "a" * 40)

@@ -56,11 +56,8 @@ from __future__ import annotations
 
 import argparse
 import cProfile
-import fnmatch
 import gc
 import json
-import multiprocessing
-import multiprocessing.connection
 import os
 import pathlib
 import platform
@@ -81,6 +78,8 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
 from perf.macro import MACROS  # noqa: E402
+from repro.campaign.pool import call_guarded, iter_pooled, \
+    select_names  # noqa: E402
 from repro.core.engine import KERNELS, resolve_kernel  # noqa: E402
 
 
@@ -184,19 +183,13 @@ def time_scenario(name: str, scale: float, repeats: int,
     return record
 
 
-def _child_entry(conn, name: str, scale: float, repeats: int,
-                 profile: bool, telemetry: bool = False,
-                 profile_dir: Optional[pathlib.Path] = None) -> None:
-    """Subprocess body for the per-scenario wall-clock timeout."""
-    try:
-        record = time_scenario(name, scale, repeats, profile=profile,
-                               telemetry=telemetry,
-                               profile_dir=profile_dir)
-        conn.send(("ok", record))
-    except BaseException as exc:  # report, don't hang the parent
-        conn.send(("error", f"{type(exc).__name__}: {exc}"))
-    finally:
-        conn.close()
+def _scenario_task(name: str, scale: float, repeats: int, profile: bool,
+                   telemetry: bool,
+                   profile_dir: Optional[pathlib.Path]):
+    """One scenario measurement as a zero-arg task for the shared pool."""
+    return lambda: time_scenario(name, scale, repeats, profile=profile,
+                                 telemetry=telemetry,
+                                 profile_dir=profile_dir)
 
 
 def time_scenario_guarded(name: str, scale: float, repeats: int,
@@ -213,32 +206,13 @@ def time_scenario_guarded(name: str, scale: float, repeats: int,
     clean ``("timeout", None)`` instead of hanging the whole bench run.
 
     Returns ``(status, payload)``: ``("ok", record)``,
-    ``("error", message)`` or ``("timeout", None)``.
+    ``("error", message)`` or ``("timeout", None)``.  The fork/timeout
+    machinery itself lives in :mod:`repro.campaign.pool`, shared with
+    ``tools/run_campaign.py``.
     """
-    if timeout <= 0:
-        return "ok", time_scenario(name, scale, repeats, profile=profile,
-                                   telemetry=telemetry,
-                                   profile_dir=profile_dir)
-    ctx = multiprocessing.get_context("fork")
-    parent_conn, child_conn = ctx.Pipe(duplex=False)
-    proc = ctx.Process(target=_child_entry,
-                       args=(child_conn, name, scale, repeats, profile,
-                             telemetry, profile_dir))
-    proc.start()
-    child_conn.close()
-    try:
-        if parent_conn.poll(timeout):
-            status, payload = parent_conn.recv()
-            proc.join()
-            return status, payload
-    except EOFError:  # child died without reporting (segfault, kill)
-        proc.join()
-        return "error", f"worker exited with code {proc.exitcode}"
-    finally:
-        parent_conn.close()
-    proc.terminate()
-    proc.join()
-    return "timeout", None
+    return call_guarded(_scenario_task(name, scale, repeats, profile,
+                                       telemetry, profile_dir),
+                        timeout=timeout)
 
 
 def iter_results(names, scale: float, repeats: int, profile: bool = False,
@@ -253,71 +227,15 @@ def iter_results(names, scale: float, repeats: int, profile: bool = False,
     every scenario runs in its own forked child — the same isolation
     ``--timeout`` already buys — with at most ``jobs`` children alive at
     once; finished results are buffered until their turn so the output
-    rows (and failure ordering) are pinned to the input list.
+    rows (and failure ordering) are pinned to the input list (the
+    shared :func:`repro.campaign.pool.iter_pooled` contract).
     """
-    if jobs <= 1:
-        for name in names:
-            status, payload = time_scenario_guarded(name, scale, repeats,
-                                                    profile=profile,
-                                                    timeout=timeout,
-                                                    telemetry=telemetry,
-                                                    profile_dir=profile_dir)
-            yield name, status, payload
-        return
-    ctx = multiprocessing.get_context("fork")
     order = list(names)
-    # Everything is keyed by input *index*, never by name: the same
-    # macro may legitimately appear more than once in the input list,
-    # and name-keyed buffering would collapse (and lose) those rows.
-    queue = list(enumerate(order))
-    running: Dict[Any, Tuple[int, Any, Optional[float]]] = {}
-    results: Dict[int, Tuple[str, Any]] = {}
-    emitted = 0
-    while emitted < len(order):
-        while queue and len(running) < jobs:
-            index, name = queue.pop(0)
-            parent_conn, child_conn = ctx.Pipe(duplex=False)
-            proc = ctx.Process(target=_child_entry,
-                               args=(child_conn, name, scale, repeats,
-                                     profile, telemetry, profile_dir))
-            proc.start()
-            child_conn.close()
-            deadline = time.monotonic() + timeout if timeout > 0 else None
-            running[parent_conn] = (index, proc, deadline)
-        if running:
-            if timeout > 0:
-                horizon = min(deadline for _, _, deadline
-                              in running.values())
-                wait_s = max(0.0, horizon - time.monotonic())
-                ready = multiprocessing.connection.wait(list(running),
-                                                        timeout=wait_s)
-            else:
-                ready = multiprocessing.connection.wait(list(running))
-            for conn in ready:
-                index, proc, _deadline = running.pop(conn)
-                try:
-                    status, payload = conn.recv()
-                    proc.join()
-                except EOFError:
-                    proc.join()
-                    status = "error"
-                    payload = f"worker exited with code {proc.exitcode}"
-                conn.close()
-                results[index] = (status, payload)
-            if not ready:  # some child blew its deadline
-                now = time.monotonic()
-                for conn in [c for c, (_, _, d) in running.items()
-                             if d is not None and d <= now]:
-                    index, proc, _deadline = running.pop(conn)
-                    proc.terminate()
-                    proc.join()
-                    conn.close()
-                    results[index] = ("timeout", None)
-        while emitted < len(order) and emitted in results:
-            status, payload = results.pop(emitted)
-            name = order[emitted]
-            emitted += 1
-            yield name, status, payload
+    tasks = [_scenario_task(name, scale, repeats, profile, telemetry,
+                            profile_dir) for name in order]
+    for index, status, payload in iter_pooled(tasks, timeout=timeout,
+                                              jobs=jobs):
+        yield order[index], status, payload
 
 
 def write_bench_json(record: Dict[str, Any], out_dir: pathlib.Path) -> pathlib.Path:
@@ -513,23 +431,10 @@ def main(argv=None) -> int:
             summary = (MACROS[name].__doc__ or "").strip().split("\n")[0]
             print(f"{name:20s} {summary}")
         return 0
-    if args.only:
-        # Each --only is an exact name or a glob; order follows the
-        # command line, duplicates collapse, and a pattern matching
-        # nothing is an error (a typo must not silently run zero
-        # scenarios and report success).
-        names = []
-        unmatched = []
-        for pattern in args.only:
-            matched = sorted(fnmatch.filter(MACROS, pattern))
-            if not matched:
-                unmatched.append(pattern)
-            names.extend(name for name in matched if name not in names)
-        if unmatched:
-            parser.error(f"unknown scenario(s)/pattern(s): {unmatched}; "
-                         f"available: {sorted(MACROS)}")
-    else:
-        names = sorted(MACROS)
+    try:
+        names = select_names(args.only, MACROS)
+    except ValueError as exc:
+        parser.error(str(exc))
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
     if args.kernel is not None:

@@ -1,0 +1,219 @@
+#!/usr/bin/env python3
+"""Campaign executor CLI: run declarative simulation campaigns.
+
+Usage::
+
+    # Run one or more campaign specs (TOML or JSON):
+    PYTHONPATH=src python tools/run_campaign.py specs/hidden_terminal.toml
+
+    # Fan out across forked workers with a per-job wall-clock cap:
+    PYTHONPATH=src python tools/run_campaign.py specs/*.toml \\
+        --jobs 2 --timeout 120
+
+    # Resume after an interruption: already-done jobs are reused from
+    # the manifest, the result store comes out byte-identical to an
+    # uninterrupted run.  --fresh discards the manifest instead.
+    PYTHONPATH=src python tools/run_campaign.py specs/jamming_duty.toml
+
+    # Inspect without running:
+    PYTHONPATH=src python tools/run_campaign.py specs/*.toml --list
+    PYTHONPATH=src python tools/run_campaign.py --schema
+
+    # Simulation-as-a-service: tail a submission directory.  Spec
+    # files dropped into QUEUE_DIR are picked up, executed, and moved
+    # to QUEUE_DIR/done (or QUEUE_DIR/failed with an .error sidecar).
+    PYTHONPATH=src python tools/run_campaign.py --queue /tmp/submit \\
+        --out-dir results --poll 2
+    # --drain processes what is queued now, then exits (used by CI).
+
+Outputs, per campaign ``<name>`` under ``--out-dir``:
+
+* ``<name>.manifest.json`` — crash-safe resumable job ledger,
+* ``<name>.results.jsonl`` — canonical row-per-job result store,
+* ``<name>.results.csv`` — flattened columnar view of the same rows.
+
+Exit status: 0 when every executed job succeeded, 1 when any job
+failed or timed out, 2 for spec/usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+from typing import List, Optional
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.campaign import (SCHEMA_DOC, SpecError, expand_grid,  # noqa: E402
+                            load_spec, run_campaign)
+
+#: Spec file suffixes the queue watcher picks up.
+QUEUE_SUFFIXES = (".toml", ".json")
+
+
+def _print_summary(result, out) -> None:
+    counts = (f"{result.ran} ran, {result.reused} reused, "
+              f"{len(result.failed)} failed, "
+              f"{sum(1 for row in result.rows if row['status'] == 'pending')}"
+              " pending")
+    print(f"campaign {result.name}: {len(result.jobs)} jobs ({counts})",
+          file=out)
+    print(f"  manifest: {result.manifest_path}", file=out)
+    print(f"  store:    {result.store_path}", file=out)
+    print(f"  csv:      {result.csv_path}", file=out)
+    for label in result.failed:
+        print(f"  FAILED: {label}", file=out)
+
+
+def _run_one(spec_path: pathlib.Path, args,
+             out_dir: Optional[pathlib.Path] = None) -> bool:
+    """Load and execute one spec file; return True when all jobs passed."""
+    spec = load_spec(spec_path)
+    result = run_campaign(
+        spec, out_dir if out_dir is not None else args.out_dir,
+        jobs=args.jobs, timeout=args.timeout, fresh=args.fresh,
+        only=args.only, max_jobs=args.max_jobs,
+        progress=None if args.quiet else
+        (lambda message: print(f"  {message}", flush=True)))
+    if not args.quiet:
+        _print_summary(result, sys.stdout)
+    return result.ok
+
+
+def _list_specs(paths: List[pathlib.Path]) -> int:
+    for spec_path in paths:
+        spec = load_spec(spec_path)
+        jobs = expand_grid(spec)
+        print(f"{spec_path}: campaign {spec['campaign']['name']}, "
+              f"{len(jobs)} jobs")
+        for job in jobs:
+            print(f"  [{job.index:3d}] {job.key[:12]}  {job.label}")
+    return 0
+
+
+def _queue_candidates(queue_dir: pathlib.Path) -> List[pathlib.Path]:
+    """Spec files currently submitted, oldest first (mtime, then name)."""
+    entries = [path for path in queue_dir.iterdir()
+               if path.is_file() and path.suffix in QUEUE_SUFFIXES]
+    return sorted(entries, key=lambda p: (p.stat().st_mtime, p.name))
+
+
+def _serve_queue(args, parser) -> int:
+    """Tail a submission directory; every spec file becomes a campaign.
+
+    Processed files move to ``done/`` or ``failed/`` (with an
+    ``.error`` sidecar holding the reason), so a submission is consumed
+    exactly once and the outcome is inspectable without grepping logs.
+    """
+    queue_dir = pathlib.Path(args.queue)
+    if not queue_dir.is_dir():
+        parser.error(f"--queue directory does not exist: {queue_dir}")
+    done_dir = queue_dir / "done"
+    failed_dir = queue_dir / "failed"
+    done_dir.mkdir(exist_ok=True)
+    failed_dir.mkdir(exist_ok=True)
+    exit_code = 0
+    while True:
+        batch = _queue_candidates(queue_dir)
+        for spec_path in batch:
+            print(f"queue: picked up {spec_path.name}", flush=True)
+            try:
+                ok = _run_one(spec_path, args)
+                error = None if ok else "one or more jobs failed"
+            except (SpecError, OSError, ValueError) as exc:
+                ok, error = False, str(exc)
+                print(f"queue: {spec_path.name}: {error}", file=sys.stderr)
+            target_dir = done_dir if ok else failed_dir
+            target = target_dir / spec_path.name
+            spec_path.replace(target)
+            if error is not None:
+                exit_code = 1
+                target.with_suffix(target.suffix + ".error") \
+                    .write_text(error + "\n", encoding="utf-8")
+            print(f"queue: {spec_path.name} -> "
+                  f"{'done' if ok else 'failed'}", flush=True)
+        if args.drain and not _queue_candidates(queue_dir):
+            return exit_code
+        if not batch:
+            time.sleep(args.poll)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run declarative simulation campaigns "
+                    "(sweeps + seed ensembles) from spec files.")
+    parser.add_argument("specs", nargs="*", type=pathlib.Path,
+                        help="campaign spec files (.toml or .json)")
+    parser.add_argument("--out-dir", type=pathlib.Path,
+                        default=pathlib.Path("campaign_results"),
+                        help="directory for manifests and result stores "
+                             "(default: campaign_results)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="forked workers per campaign (default 1)")
+    parser.add_argument("--timeout", type=float, default=0.0,
+                        help="per-job wall-clock cap in seconds "
+                             "(0 = unlimited, in-process)")
+    parser.add_argument("--fresh", action="store_true",
+                        help="discard any existing manifest instead of "
+                             "resuming")
+    parser.add_argument("--only", action="append", default=None,
+                        metavar="PATTERN",
+                        help="run only jobs whose label matches this "
+                             "exact name or glob (repeatable); others "
+                             "stay pending")
+    parser.add_argument("--max-jobs", type=int, default=None,
+                        help="cap pending jobs executed this invocation "
+                             "(the rest stays pending for a resume)")
+    parser.add_argument("--list", action="store_true",
+                        help="expand the grid and list jobs, run nothing")
+    parser.add_argument("--schema", action="store_true",
+                        help="print the spec schema reference and exit")
+    parser.add_argument("--queue", metavar="DIR", default=None,
+                        help="serve mode: tail DIR for submitted spec "
+                             "files instead of taking them positionally")
+    parser.add_argument("--poll", type=float, default=2.0,
+                        help="queue poll interval in seconds (default 2)")
+    parser.add_argument("--drain", action="store_true",
+                        help="with --queue: process current submissions, "
+                             "then exit instead of tailing forever")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-job progress lines")
+    args = parser.parse_args(argv)
+
+    if args.schema:
+        print(SCHEMA_DOC)
+        return 0
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.max_jobs is not None and args.max_jobs < 0:
+        parser.error(f"--max-jobs must be >= 0, got {args.max_jobs}")
+    if args.queue is not None:
+        if args.specs:
+            parser.error("--queue and positional spec files are "
+                         "mutually exclusive")
+        return _serve_queue(args, parser)
+    if not args.specs:
+        parser.error("no spec files given (or use --queue DIR / --schema)")
+
+    try:
+        if args.list:
+            return _list_specs(args.specs)
+        all_ok = True
+        for spec_path in args.specs:
+            if not args.quiet:
+                print(f"== {spec_path} ==", flush=True)
+            all_ok = _run_one(spec_path, args) and all_ok
+        return 0 if all_ok else 1
+    except SpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:  # bad --only pattern from select_names
+        parser.error(str(exc))
+        return 2  # unreachable; parser.error exits
+
+
+if __name__ == "__main__":
+    sys.exit(main())
